@@ -1,0 +1,46 @@
+// Design-choice ablation (DESIGN.md §5): the clustering strategy behind the
+// representative tuples of Algorithm 1 — single-pass leader clustering
+// (default), k-means++-seeded k-medoids, and the Shindler et al.-style
+// streaming k-means the paper's implementation cites.
+
+#include "bench/bench_common.h"
+
+using namespace rudolf;
+using namespace rudolf::bench;
+
+int main() {
+  Banner("Ablation — clustering strategy of Algorithm 1",
+         "representatives from any reasonable clustering work; interaction "
+         "counts and quality shift modestly");
+
+  Dataset dataset = GenerateDataset(DefaultScenario(BenchRows()).options);
+  struct Config {
+    const char* name;
+    ClusteringStrategy strategy;
+  };
+  const Config configs[] = {
+      {"leader", ClusteringStrategy::kLeader},
+      {"kmedoids", ClusteringStrategy::kKMedoids},
+      {"streaming-kmeans", ClusteringStrategy::kStreamingKMeans},
+  };
+
+  TablePrinter table({"strategy", "balanced err %", "edits", "expert min"});
+  for (const Config& config : configs) {
+    RunnerOptions options;
+    options.rounds = 5;
+    options.session.generalize.clustering.strategy = config.strategy;
+    options.session.generalize.clustering.k = 48;
+    ExperimentRunner runner(&dataset, options);
+    RunResult result = runner.Run(Method::kRudolf);
+    const RoundRecord& last = result.rounds.back();
+    table.AddRow({config.name,
+                  TablePrinter::Num(last.future.BalancedErrorPct(), 1),
+                  TablePrinter::Int(static_cast<long long>(last.cumulative_edits)),
+                  TablePrinter::Num(last.total_seconds / 60.0, 1)});
+  }
+  table.Print();
+  std::printf("\n(the default leader strategy is order-sensitive but cheap; "
+              "medoid-based\nstrategies bound the cluster count at the cost "
+              "of mixing sparse noise\ninto pattern clusters)\n");
+  return 0;
+}

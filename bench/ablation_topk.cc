@@ -1,0 +1,31 @@
+// Design-choice ablation: the width k of the top-k candidate list Algorithm
+// 1 ranks per representative (line 4). Wider lists give the expert more
+// fallbacks after a rejection at the cost of more interactions.
+
+#include "bench/bench_common.h"
+
+using namespace rudolf;
+using namespace rudolf::bench;
+
+int main() {
+  Banner("Ablation — top-k width of Algorithm 1",
+         "k=1 forfeits fallbacks after rejections; large k mostly costs "
+         "extra expert interactions");
+
+  Dataset dataset = GenerateDataset(DefaultScenario(BenchRows()).options);
+  TablePrinter table({"top-k", "balanced err %", "edits", "expert min"});
+  for (size_t k : {1u, 2u, 3u, 5u, 8u}) {
+    RunnerOptions options;
+    options.rounds = 5;
+    options.session.generalize.top_k = k;
+    ExperimentRunner runner(&dataset, options);
+    RunResult result = runner.Run(Method::kRudolf);
+    const RoundRecord& last = result.rounds.back();
+    table.AddRow({TablePrinter::Int(static_cast<long long>(k)),
+                  TablePrinter::Num(last.future.BalancedErrorPct(), 1),
+                  TablePrinter::Int(static_cast<long long>(last.cumulative_edits)),
+                  TablePrinter::Num(last.total_seconds / 60.0, 1)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared plumbing for the figure-reproduction benches: dataset sizing from
+// the environment, method execution, and uniform table/shape-check output.
+
+#ifndef RUDOLF_BENCH_BENCH_COMMON_H_
+#define RUDOLF_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "experiments/runner.h"
+#include "metrics/report.h"
+#include "workload/scenarios.h"
+
+namespace rudolf {
+namespace bench {
+
+/// Default stream size for the figure benches; override with RUDOLF_BENCH_N.
+inline size_t BenchRows(size_t fallback = 60000) {
+  const char* env = std::getenv("RUDOLF_BENCH_N");
+  if (env != nullptr) {
+    size_t n = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
+/// Prints the bench banner with the paper reference and expected shape.
+inline void Banner(const char* figure, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("Reproducing %s — Milo, Novgorodov & Tan, EDBT 2018\n", figure);
+  std::printf("Paper's finding: %s\n", claim);
+  std::printf("==============================================================\n\n");
+}
+
+/// Prints a PASS/DEVIATES shape-check verdict line.
+inline void ShapeCheck(const char* what, bool holds) {
+  std::printf("[shape-check] %s: %s\n", what, holds ? "PASS" : "DEVIATES");
+}
+
+/// Runs the given methods on one dataset with shared options.
+inline std::vector<RunResult> RunMethods(Dataset* dataset,
+                                         const RunnerOptions& options,
+                                         const std::vector<Method>& methods) {
+  ExperimentRunner runner(dataset, options);
+  std::vector<RunResult> out;
+  out.reserve(methods.size());
+  for (Method m : methods) out.push_back(runner.Run(m));
+  return out;
+}
+
+}  // namespace bench
+}  // namespace rudolf
+
+#endif  // RUDOLF_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,42 @@
+// Figure 3(a): cumulative number of rule modifications as time advances,
+// for RUDOLF, the fully-manual expert, and RUDOLF⁻. The paper's shape:
+// RUDOLF performs the fewest modifications; RUDOLF⁻ (which accepts every
+// system proposal unreviewed) the most.
+
+#include "bench/bench_common.h"
+
+using namespace rudolf;
+using namespace rudolf::bench;
+
+int main() {
+  Banner("Figure 3(a) — cumulative # of rule changes",
+         "RUDOLF makes fewer modifications than fully-manual editing, which "
+         "makes fewer than RUDOLF⁻.");
+
+  Dataset dataset = GenerateDataset(DefaultScenario(BenchRows()).options);
+  RunnerOptions options;
+  options.rounds = 5;
+  std::vector<Method> methods = {Method::kRudolf, Method::kManual,
+                                 Method::kRudolfMinus};
+  std::vector<RunResult> results = RunMethods(&dataset, options, methods);
+
+  TablePrinter table({"round", "rudolf", "manual", "rudolf-minus"});
+  for (int r = 0; r < options.rounds; ++r) {
+    table.AddRow({TablePrinter::Int(r + 1),
+                  TablePrinter::Int(static_cast<long long>(
+                      results[0].rounds[r].cumulative_updates)),
+                  TablePrinter::Int(static_cast<long long>(
+                      results[1].rounds[r].cumulative_updates)),
+                  TablePrinter::Int(static_cast<long long>(
+                      results[2].rounds[r].cumulative_updates))});
+  }
+  table.Print();
+  std::printf("\n");
+
+  size_t rudolf = results[0].rounds.back().cumulative_updates;
+  size_t manual = results[1].rounds.back().cumulative_updates;
+  size_t minus = results[2].rounds.back().cumulative_updates;
+  ShapeCheck("rudolf < manual", rudolf < manual);
+  ShapeCheck("manual < rudolf-minus", manual < minus);
+  return 0;
+}

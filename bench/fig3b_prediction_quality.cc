@@ -1,0 +1,56 @@
+// Figure 3(b): prediction quality (misclassification of future
+// transactions) as time advances. Paper's ordering, best to worst: RUDOLF,
+// fully-manual, RUDOLF⁻, threshold-ML. We report the balanced per-class
+// error ((miss% + FP%) / 2 — Section 5 measures the two classes separately)
+// and include No-Change for reference.
+
+#include "bench/bench_common.h"
+
+using namespace rudolf;
+using namespace rudolf::bench;
+
+int main() {
+  Banner("Figure 3(b) — prediction quality over time",
+         "error(RUDOLF) < error(manual) < error(RUDOLF-) < error(threshold-ML)");
+
+  Dataset dataset = GenerateDataset(DefaultScenario(BenchRows()).options);
+  RunnerOptions options;
+  options.rounds = 5;
+  std::vector<Method> methods = {Method::kRudolf, Method::kManual,
+                                 Method::kRudolfMinus, Method::kThresholdMl,
+                                 Method::kNoChange};
+  std::vector<RunResult> results = RunMethods(&dataset, options, methods);
+
+  TablePrinter table({"round", "rudolf", "manual", "rudolf-minus",
+                      "threshold-ml", "no-change"});
+  for (int r = 0; r < options.rounds; ++r) {
+    std::vector<std::string> row = {TablePrinter::Int(r + 1)};
+    for (const RunResult& result : results) {
+      row.push_back(TablePrinter::Num(
+          result.rounds[r].future.BalancedErrorPct(), 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("balanced error %% on future transactions ((miss%% + FP%%)/2):\n");
+  table.Print();
+
+  std::printf("\nlast-round detail (miss%% / FP%%):\n");
+  TablePrinter detail({"method", "miss %", "false pos %", "rules"});
+  for (const RunResult& result : results) {
+    const RoundRecord& last = result.rounds.back();
+    detail.AddRow({result.method_name, TablePrinter::Num(last.future.MissPct(), 1),
+                   TablePrinter::Num(last.future.FalsePositivePct(), 2),
+                   TablePrinter::Int(static_cast<long long>(last.rules))});
+  }
+  detail.Print();
+  std::printf("\n");
+
+  auto final_err = [&](size_t i) {
+    return results[i].rounds.back().future.BalancedErrorPct();
+  };
+  ShapeCheck("rudolf <= manual", final_err(0) <= final_err(1) + 1e-9);
+  ShapeCheck("manual <= rudolf-minus", final_err(1) <= final_err(2) + 1e-9);
+  ShapeCheck("rudolf-minus <= threshold-ml", final_err(2) <= final_err(3) + 1e-9);
+  ShapeCheck("rudolf < no-change", final_err(0) < final_err(4));
+  return 0;
+}

@@ -1,0 +1,51 @@
+// In-text claim (Section 5): "around 75% of the modifications were
+// condition refinements, 20% rule splits, and 5% rule addition." This bench
+// reports the edit-kind histogram of RUDOLF runs aggregated over several
+// seeds (single runs make few enough edits that the percentages are noisy).
+
+#include "bench/bench_common.h"
+
+using namespace rudolf;
+using namespace rudolf::bench;
+
+int main() {
+  Banner("In-text — modification-kind breakdown",
+         "~75% condition refinements, ~20% rule splits, ~5% rule additions");
+
+  const std::vector<uint64_t> seeds = {7, 8, 9, 10};
+  size_t refine = 0;
+  size_t split = 0;
+  size_t add = 0;
+  size_t remove = 0;
+  size_t total = 0;
+  for (uint64_t seed : seeds) {
+    Dataset dataset = GenerateDataset(DefaultScenario(BenchRows(), seed).options);
+    RunnerOptions options;
+    options.rounds = 5;
+    options.seed = 2024 + seed;
+    ExperimentRunner runner(&dataset, options);
+    RunResult result = runner.Run(Method::kRudolf);
+    refine += result.log.CountKind(EditKind::kModifyCondition);
+    split += result.log.CountKind(EditKind::kSplitRule);
+    add += result.log.CountKind(EditKind::kAddRule);
+    remove += result.log.CountKind(EditKind::kRemoveRule);
+    total += result.log.size();
+  }
+  auto pct = [&](size_t k) {
+    return total == 0 ? 0.0 : 100.0 * static_cast<double>(k) / total;
+  };
+
+  TablePrinter table({"edit kind", "paper", "measured"});
+  table.AddRow({"condition refinement", "75%", TablePrinter::Pct(pct(refine), 0)});
+  table.AddRow({"rule split", "20%", TablePrinter::Pct(pct(split), 0)});
+  table.AddRow({"rule addition", "5%", TablePrinter::Pct(pct(add), 0)});
+  table.AddRow({"rule removal", "-", TablePrinter::Pct(pct(remove), 0)});
+  table.Print();
+  std::printf("\n(%zu edits over %zu runs)\n\n", total, seeds.size());
+
+  ShapeCheck("condition refinements are the most common kind",
+             refine > split && refine > add);
+  ShapeCheck("splits and additions are minority kinds",
+             split + add < refine);
+  return 0;
+}

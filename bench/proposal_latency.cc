@@ -1,0 +1,117 @@
+// In-text claim (Section 5, "Measurements"): "We also measured the running
+// time required by RUDOLF to select the proposed modifications. For our
+// datasets this was always at most one second." This google-benchmark
+// binary measures the two proposal paths — ranking generalization
+// candidates for a representative (Algorithm 1, lines 3–4) and ranking the
+// splits for a captured legitimate tuple (Algorithm 2, line 5) — across
+// relation sizes, plus the capture-tracker (re)build that precedes a
+// session.
+
+#include <benchmark/benchmark.h>
+
+#include "core/capture_tracker.h"
+#include "core/generalize.h"
+#include "core/specialize.h"
+#include "workload/initial_rules.h"
+#include "workload/scenarios.h"
+
+namespace rudolf {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  RuleSet rules;
+  std::unique_ptr<CaptureTracker> tracker;
+  Rule representative;
+  size_t legit_row = 0;
+  RuleId legit_rule = kInvalidRule;
+};
+
+// One fixture per size, built lazily and cached for all benchmark runs.
+Fixture& GetFixture(size_t n) {
+  static std::map<size_t, std::unique_ptr<Fixture>> cache;
+  auto it = cache.find(n);
+  if (it != cache.end()) return *it->second;
+
+  auto fx = std::make_unique<Fixture>();
+  fx->dataset = GenerateDataset(DefaultScenario(n).options);
+  Rng reveal(7);
+  RevealLabels(fx->dataset.relation.get(), 0, n, 0.95, 0.05, 0.002, &reveal);
+  fx->rules = SynthesizeInitialRules(fx->dataset);
+  fx->tracker = std::make_unique<CaptureTracker>(*fx->dataset.relation, fx->rules);
+  // A representative: the first drifted pattern's exact rule.
+  fx->representative = fx->dataset.patterns.back().ToRule(fx->dataset.cc);
+  // A captured legitimate tuple for the split path: widen one rule so it
+  // certainly captures something legitimate.
+  RuleId wide = fx->rules.AddRule(Rule::Trivial(*fx->dataset.cc.schema));
+  fx->tracker->ApplyAdd(wide, fx->tracker->Eval(fx->rules.Get(wide)));
+  for (size_t r = 0; r < n; ++r) {
+    if (fx->dataset.relation->VisibleLabel(r) == Label::kLegitimate) {
+      fx->legit_row = r;
+      fx->legit_rule = wide;
+      break;
+    }
+  }
+  auto& ref = *fx;
+  cache[n] = std::move(fx);
+  return ref;
+}
+
+void BM_RankGeneralizationCandidates(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Fixture& fx = GetFixture(n);
+  GeneralizationEngine engine(*fx.dataset.relation, GeneralizeOptions{});
+  for (auto _ : state) {
+    auto proposals =
+        engine.RankCandidates(fx.rules, *fx.tracker, fx.representative, 8);
+    benchmark::DoNotOptimize(proposals);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void BM_RankSplits(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Fixture& fx = GetFixture(n);
+  SpecializationEngine engine(*fx.dataset.relation, SpecializeOptions{});
+  for (auto _ : state) {
+    auto proposals =
+        engine.RankSplits(fx.rules, *fx.tracker, fx.legit_rule, fx.legit_row);
+    benchmark::DoNotOptimize(proposals);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void BM_CaptureTrackerBuild(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Fixture& fx = GetFixture(n);
+  for (auto _ : state) {
+    CaptureTracker tracker(*fx.dataset.relation, fx.rules, n);
+    benchmark::DoNotOptimize(tracker.TotalCounts());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void BM_EvalRuleSet(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Fixture& fx = GetFixture(n);
+  RuleEvaluator eval(*fx.dataset.relation, n);
+  for (auto _ : state) {
+    Bitset captured = eval.EvalRuleSet(fx.rules);
+    benchmark::DoNotOptimize(captured);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+BENCHMARK(BM_RankGeneralizationCandidates)->Arg(10000)->Arg(100000)->Arg(400000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RankSplits)->Arg(10000)->Arg(100000)->Arg(400000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CaptureTrackerBuild)->Arg(10000)->Arg(100000)->Arg(400000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EvalRuleSet)->Arg(10000)->Arg(100000)->Arg(400000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rudolf
+
+BENCHMARK_MAIN();

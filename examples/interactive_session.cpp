@@ -1,0 +1,131 @@
+// A real interactive RUDOLF session: a human expert on stdin reviews the
+// system's proposals, exactly as the paper's domain experts did. Each
+// generalization proposal can be accepted, rejected, or dismissed with its
+// whole cluster; each split can be accepted or rejected. Run with --auto to
+// let the session accept everything (for CI / demos without a terminal).
+//
+// Usage: interactive_session [--auto] [num_transactions]
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/session.h"
+#include "metrics/quality.h"
+#include "workload/initial_rules.h"
+#include "workload/scenarios.h"
+
+using namespace rudolf;
+
+namespace {
+
+/// A human on stdin implementing the Expert interface.
+class ConsoleExpert : public Expert {
+ public:
+  explicit ConsoleExpert(const Schema& schema) : schema_(schema) {}
+
+  GeneralizationReview ReviewGeneralization(const GeneralizationProposal& proposal,
+                                            const Relation& relation) override {
+    (void)relation;
+    std::printf("\n%s", proposal.ToString(schema_).c_str());
+    std::printf("  [a]ccept / [r]eject / [n]ot-an-attack (skip cluster)? ");
+    GeneralizationReview review;
+    switch (ReadChoice("arn")) {
+      case 'a':
+        review.action = GeneralizationReview::Action::kAccept;
+        break;
+      case 'n':
+        review.action = GeneralizationReview::Action::kRejectCluster;
+        break;
+      default:
+        review.action = GeneralizationReview::Action::kReject;
+    }
+    return review;
+  }
+
+  SplitReview ReviewSplit(const SplitProposal& proposal,
+                          const Relation& relation) override {
+    (void)relation;
+    std::printf("\n%s", proposal.ToString(schema_).c_str());
+    std::printf("  [a]ccept / [r]eject (try another attribute)? ");
+    SplitReview review;
+    review.action = ReadChoice("ar") == 'a' ? SplitReview::Action::kAccept
+                                            : SplitReview::Action::kReject;
+    return review;
+  }
+
+  std::string name() const override { return "console"; }
+
+ private:
+  char ReadChoice(const std::string& allowed) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      for (char c : line) {
+        if (allowed.find(static_cast<char>(std::tolower(c))) != std::string::npos) {
+          return static_cast<char>(std::tolower(c));
+        }
+      }
+      std::printf("  please type one of [%s]: ", allowed.c_str());
+    }
+    return allowed[0];  // EOF: take the first (accept) choice
+  }
+
+  const Schema& schema_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool auto_mode = false;
+  size_t n = 8000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--auto") == 0) {
+      auto_mode = true;
+    } else {
+      n = static_cast<size_t>(std::strtoull(argv[i], nullptr, 10));
+    }
+  }
+
+  Scenario scenario = DefaultScenario(n);
+  Dataset dataset = GenerateDataset(scenario.options);
+  size_t prefix = n / 2;
+  Rng rng(scenario.options.seed);
+  RevealLabels(dataset.relation.get(), 0, prefix,
+               dataset.options.label_coverage, dataset.options.mislabel_fraction,
+               dataset.options.false_fraud_fraction, &rng);
+  RuleSet rules = SynthesizeInitialRules(dataset);
+
+  std::printf("=== interactive RUDOLF session (%zu transactions, %zu visible) "
+              "===\n\n",
+              n, prefix);
+  std::printf("Current rules:\n%s\n", rules.ToString(*dataset.cc.schema).c_str());
+
+  std::unique_ptr<Expert> expert;
+  if (auto_mode) {
+    std::printf("(--auto: accepting every proposal)\n");
+    expert = std::make_unique<AutoAcceptExpert>();
+  } else {
+    expert = std::make_unique<ConsoleExpert>(*dataset.cc.schema);
+  }
+
+  SessionOptions options;
+  options.generalize.max_clusters_per_pass = 8;  // keep the session short
+  options.specialize.max_legit_tuples = 12;
+  options.max_rounds = 2;
+  RefinementSession session(*dataset.relation, prefix, options);
+  EditLog log;
+  SessionStats stats = session.Refine(&rules, expert.get(), &log);
+
+  std::printf("\nSession done: %d rounds, %zu proposals, %zu edits.\n",
+              stats.rounds,
+              stats.generalize.proposals + stats.specialize.proposals,
+              stats.edits);
+  std::printf("\nRefined rules:\n%s\n",
+              rules.ToString(*dataset.cc.schema).c_str());
+  PredictionQuality q = EvaluateOnRange(*dataset.relation, rules, prefix, n);
+  std::printf("On the unseen half: miss %.1f%%, false positives %.2f%%, "
+              "balanced error %.1f%%.\n",
+              q.MissPct(), q.FalsePositivePct(), q.BalancedErrorPct());
+  return 0;
+}

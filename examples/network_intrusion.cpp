@@ -1,0 +1,181 @@
+// RUDOLF is a general-purpose rule-refinement system (Section 1: "for
+// preventing network attacks, for refining rules for spam detection or for
+// intrusion detection"). This example builds a network-flow relation from
+// scratch — protocol and subnet ontologies, ports, byte counts — seeds a
+// stale IDS rule set, and refines it against newly reported intrusions with
+// the same engines used for credit-card fraud.
+
+#include <cassert>
+#include <cstdio>
+
+#include "core/session.h"
+#include "expert/oracle_expert.h"
+#include "expert/scripted_expert.h"
+#include "metrics/quality.h"
+#include "relation/builder.h"
+#include "rules/evaluator.h"
+#include "rules/parser.h"
+#include "workload/intrusion.h"
+
+using namespace rudolf;
+
+namespace {
+
+std::shared_ptr<const Ontology> BuildDemoProtocolOntology() {
+  auto o = std::make_unique<Ontology>("protocol", "Any protocol");
+  ConceptId tcp = o->AddConcept("TCP", o->top()).ValueOrDie();
+  ConceptId udp = o->AddConcept("UDP", o->top()).ValueOrDie();
+  (void)o->AddConcept("HTTP", tcp).ValueOrDie();
+  (void)o->AddConcept("HTTPS", tcp).ValueOrDie();
+  (void)o->AddConcept("SSH", tcp).ValueOrDie();
+  (void)o->AddConcept("DNS", udp).ValueOrDie();
+  (void)o->AddConcept("NTP", udp).ValueOrDie();
+  return o;
+}
+
+std::shared_ptr<const Ontology> BuildDemoSubnetOntology() {
+  auto o = std::make_unique<Ontology>("subnet", "Internet");
+  ConceptId internal = o->AddConcept("Internal", o->top()).ValueOrDie();
+  ConceptId external = o->AddConcept("External", o->top()).ValueOrDie();
+  ConceptId dmz = o->AddConcept("DMZ", internal).ValueOrDie();
+  ConceptId office = o->AddConcept("Office", internal).ValueOrDie();
+  (void)o->AddConcept("10.0.1.0/24", dmz).ValueOrDie();
+  (void)o->AddConcept("10.0.2.0/24", dmz).ValueOrDie();
+  (void)o->AddConcept("10.1.0.0/16", office).ValueOrDie();
+  (void)o->AddConcept("KnownBotnet", external).ValueOrDie();
+  (void)o->AddConcept("Partner", external).ValueOrDie();
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== network_intrusion: RUDOLF beyond credit cards ===\n\n");
+
+  auto protocols = BuildDemoProtocolOntology();
+  auto subnets = BuildDemoSubnetOntology();
+  auto schema = std::make_shared<Schema>();
+  Status st;
+  st = schema->AddNumeric("hour");                 // hour of day 0..23
+  assert(st.ok());
+  st = schema->AddNumeric("port");
+  assert(st.ok());
+  st = schema->AddNumeric("kbytes");
+  assert(st.ok());
+  st = schema->AddCategorical("protocol", protocols);
+  assert(st.ok());
+  st = schema->AddCategorical("src", subnets);
+  assert(st.ok());
+  (void)st;
+
+  auto flows = std::make_shared<Relation>(schema);
+  struct FlowSpec {
+    int64_t hour, port, kbytes;
+    const char* protocol;
+    const char* src;
+    Label label;
+  };
+  const FlowSpec specs[] = {
+      // A port-scan burst from the botnet range at night (reported).
+      {2, 22, 1, "SSH", "KnownBotnet", Label::kFraud},
+      {2, 23, 1, "SSH", "KnownBotnet", Label::kFraud},
+      {3, 445, 2, "SSH", "KnownBotnet", Label::kFraud},
+      // Data exfiltration over DNS from the office (reported).
+      {14, 53, 840, "DNS", "10.1.0.0/16", Label::kFraud},
+      {15, 53, 910, "DNS", "10.1.0.0/16", Label::kFraud},
+      // Ordinary traffic, some of it flagged by the stale rules and since
+      // verified legitimate.
+      {14, 443, 120, "HTTPS", "Partner", Label::kLegitimate},
+      {9, 443, 35, "HTTPS", "10.0.1.0/24", Label::kUnlabeled},
+      {10, 80, 20, "HTTP", "10.0.2.0/24", Label::kUnlabeled},
+      {22, 123, 1, "NTP", "Partner", Label::kUnlabeled},
+      {13, 53, 2, "DNS", "10.1.0.0/16", Label::kUnlabeled},
+  };
+  for (const FlowSpec& f : specs) {
+    auto tuple = RowBuilder(schema)
+                     .Set("hour", f.hour)
+                     .Set("port", f.port)
+                     .Set("kbytes", f.kbytes)
+                     .SetConcept("protocol", f.protocol)
+                     .SetConcept("src", f.src)
+                     .Build();
+    assert(tuple.ok());
+    st = flows->AppendRow(tuple.ValueOrDie(), f.label, f.label);
+    assert(st.ok());
+  }
+
+  RuleSet rules;
+  // Yesterday's IDS rules: too narrow for the new scan, too broad on HTTPS.
+  rules.AddRule(ParseRule(*schema, "hour in [1,2] && port = 22 && src = 'KnownBotnet'")
+                    .ValueOrDie());
+  rules.AddRule(ParseRule(*schema, "kbytes >= 100 && protocol <= 'TCP'")
+                    .ValueOrDie());
+
+  std::printf("Initial IDS rules:\n%s\n", rules.ToString(*schema).c_str());
+  RuleEvaluator eval(*flows);
+  LabelCounts before = eval.CountsVisible(eval.EvalRuleSet(rules));
+  std::printf("Before refinement: captures %zu/%zu reported intrusions, "
+              "%zu legitimate flows, %zu unlabeled.\n\n",
+              before.fraud, flows->CountVisible(Label::kFraud),
+              before.legitimate, before.unlabeled);
+
+  ScriptedExpert analyst;  // accepts every proposal (demo)
+  SessionOptions options;
+  options.generalize.clustering.leader_threshold = 0.4;
+  RefinementSession session(*flows, flows->NumRows(), options);
+  EditLog log;
+  SessionStats stats = session.Refine(&rules, &analyst, &log);
+
+  std::printf("Refined after %d round(s) (%zu edits):\n%s\n", stats.rounds,
+              stats.edits, rules.ToString(*schema).c_str());
+  LabelCounts after = eval.CountsVisible(eval.EvalRuleSet(rules));
+  std::printf("After refinement: captures %zu/%zu reported intrusions, "
+              "%zu legitimate flows, %zu unlabeled.\n",
+              after.fraud, flows->CountVisible(Label::kFraud), after.legitimate,
+              after.unlabeled);
+  std::printf("\nThe same generalize/specialize machinery that refined "
+              "credit-card rules\nadapts IDS rules: ontological "
+              "generalization lifted 'port-scan from one\nhost' to the "
+              "botnet range, and specialization excluded the verified\n"
+              "partner traffic.\n");
+
+  // ---- Part 2: the same engines on a generated 20K-flow stream -----------
+  std::printf("\n=== Part 2: 20,000 generated flows with drifting "
+              "campaigns ===\n\n");
+  IntrusionOptions options2;
+  options2.num_flows = 20000;
+  IntrusionDataset ds = GenerateIntrusionDataset(options2);
+  std::printf("Campaigns (ground truth, hidden from the engines):\n");
+  for (const IntrusionCampaign& c : ds.campaigns) {
+    std::printf("  %-13s active [%.2f, %.2f): %s\n", c.name.c_str(),
+                c.start_frac, c.end_frac,
+                c.ToRule(ds.fs).ToString(*ds.fs.schema).c_str());
+  }
+  RuleSet ids_rules = SynthesizeInitialIdsRules(ds);
+  size_t prefix = options2.num_flows / 2;
+  PredictionQuality before2 =
+      EvaluateOnRange(*ds.relation, ids_rules, prefix, options2.num_flows);
+  // A SOC analyst who knows the campaign signatures (the domain-agnostic
+  // OracleExpert, built from the flow schemes instead of card patterns).
+  std::vector<KnownScheme> schemes;
+  for (const IntrusionCampaign& c : ds.campaigns) {
+    schemes.push_back(KnownScheme{c.ToRule(ds.fs), c.end_frac >= 1.0});
+  }
+  OracleOptions soc_options;
+  soc_options.blind_accept_prob = 0.01;
+  soc_options.wrong_reject_prob = 0.02;
+  soc_options.recognition_error = 0.01;
+  OracleExpert soc(ds.fs.schema, schemes, soc_options, "soc-analyst");
+  RefinementSession big_session(*ds.relation, SessionOptions{});
+  EditLog big_log;
+  big_session.Refine(prefix, &ids_rules, &soc, &big_log);
+  PredictionQuality after2 =
+      EvaluateOnRange(*ds.relation, ids_rules, prefix, options2.num_flows);
+  std::printf("\nUnseen half of the stream, before -> after refinement:\n");
+  std::printf("  intrusions caught: %.1f%% -> %.1f%%\n", before2.Recall() * 100,
+              after2.Recall() * 100);
+  std::printf("  false alarms:      %.2f%% -> %.2f%%\n",
+              before2.FalsePositivePct(), after2.FalsePositivePct());
+  std::printf("  rules: %zu, edits: %zu\n", ids_rules.size(), big_log.size());
+  return 0;
+}

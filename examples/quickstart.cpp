@@ -1,0 +1,86 @@
+// Quickstart: the paper's running example, end to end.
+//
+// Builds the rule set of Figure 1 and the transaction relation of Figure 2,
+// shows what the stale rules capture, then walks Algorithm 1 (generalize to
+// catch the new frauds) and Algorithm 2 (specialize away the legitimate
+// reports of Example 4.7) with a scripted "Elena" making the same choices as
+// in the paper.
+
+#include <cstdio>
+
+#include "core/session.h"
+#include "expert/scripted_expert.h"
+#include "rules/evaluator.h"
+#include "rules/parser.h"
+#include "workload/paper_example.h"
+
+using namespace rudolf;
+
+namespace {
+
+void ShowCaptures(const PaperExample& ex, const RuleSet& rules,
+                  const char* title) {
+  std::printf("%s\n", title);
+  std::printf("%s", rules.ToString(*ex.schema).c_str());
+  RuleEvaluator eval(*ex.relation);
+  Bitset captured = eval.EvalRuleSet(rules);
+  for (size_t r = 0; r < ex.relation->NumRows(); ++r) {
+    std::printf("  %s row %zu: %s\n", captured.Test(r) ? "[CAPTURED]" : "[       ]",
+                r + 1, ex.relation->RowToString(r).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  PaperExample ex = MakePaperExample();
+  std::printf("=== RUDOLF quickstart: the paper's running example ===\n\n");
+  ShowCaptures(ex, ex.rules,
+               "-- Yesterday's rules (Figure 1) against today's transactions "
+               "(Figure 2) --");
+
+  // Example 4.7 reports rows 3, 5 and 10 as legitimate.
+  MarkPaperLegitimates(&ex);
+
+  // Script Elena's decisions: accept the gas-station generalization, then
+  // accept-but-round the online-store one ($106 -> $100), as in Example 4.4.
+  ScriptedExpert elena;
+  GeneralizationReview accept;
+  accept.action = GeneralizationReview::Action::kAccept;
+  elena.PushGeneralization(accept);
+  GeneralizationReview rounded;
+  rounded.action = GeneralizationReview::Action::kAcceptRevised;
+  rounded.revised =
+      ParseRule(*ex.schema, "time in [18:00,18:05] && amount >= 100")
+          .ValueOrDie();
+  elena.PushGeneralization(rounded);
+  // Every further proposal (including the Example 4.7 splits) is accepted.
+
+  SessionOptions options;
+  options.generalize.clustering.leader_threshold = 0.3;
+  RefinementSession session(*ex.relation, ex.relation->NumRows(), options);
+  RuleSet rules = ex.rules;
+  EditLog log;
+  SessionStats stats = session.Refine(&rules, &elena, &log);
+
+  std::printf("-- Refinement session: %d round(s), %zu proposals reviewed, "
+              "%zu edits --\n\n",
+              stats.rounds,
+              stats.generalize.proposals + stats.specialize.proposals,
+              stats.edits);
+  for (size_t i = 0; i < log.size(); ++i) {
+    const Edit& e = log.edit(i);
+    std::printf("  edit %zu: %-16s rule %u  (%s)\n", i + 1, EditKindName(e.kind),
+                e.rule, e.note.c_str());
+  }
+  std::printf("\n");
+
+  ShowCaptures(ex, rules, "-- Refined rules --");
+
+  std::printf(
+      "All fraudulent transactions are captured and the three legitimate\n"
+      "reports are excluded — the state the interplay of Algorithms 1 and 2\n"
+      "reaches in Examples 4.4/4.7 of the paper.\n");
+  return 0;
+}

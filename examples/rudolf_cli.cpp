@@ -1,0 +1,236 @@
+// rudolf_cli — a file-based driver around the library, for working with
+// datasets and rule files on disk:
+//
+//   rudolf_cli generate <dir> [rows] [seed]     synthesize & save a dataset
+//                                               (+ initial.rules)
+//   rudolf_cli show <dir>                       dataset & label summary
+//   rudolf_cli refine <dir> <rules> <out> [--console] [--prefix-frac F]
+//                                               refine a rules file against
+//                                               the labeled prefix
+//   rudolf_cli evaluate <dir> <rules> [--from-frac F]
+//                                               ground-truth quality report
+//   rudolf_cli simplify <dir> <rules> <out>     maintenance pass
+//
+// Rules files use the text grammar of rules/parser.h; datasets are the
+// directories written by io/dataset_io.h.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/session.h"
+#include "io/dataset_io.h"
+#include "io/rules_io.h"
+#include "metrics/quality.h"
+#include "metrics/report.h"
+#include "rules/simplify.h"
+#include "workload/initial_rules.h"
+#include "workload/scenarios.h"
+
+using namespace rudolf;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  rudolf_cli generate <dir> [rows] [seed]\n"
+               "  rudolf_cli show <dir>\n"
+               "  rudolf_cli refine <dir> <rules> <out> [--console] "
+               "[--prefix-frac F]\n"
+               "  rudolf_cli evaluate <dir> <rules> [--from-frac F]\n"
+               "  rudolf_cli simplify <dir> <rules> <out>\n");
+  return 2;
+}
+
+double FlagValue(int argc, char** argv, const char* flag, double fallback) {
+  for (int i = 0; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+// The stdin-reviewing expert of interactive_session, reused here.
+class ConsoleExpert : public Expert {
+ public:
+  explicit ConsoleExpert(const Schema& schema) : schema_(schema) {}
+  GeneralizationReview ReviewGeneralization(const GeneralizationProposal& p,
+                                            const Relation&) override {
+    std::printf("\n%s  [a]ccept/[r]eject/[n]ot-an-attack? ",
+                p.ToString(schema_).c_str());
+    GeneralizationReview review;
+    char c = Read("arn");
+    review.action = c == 'a'   ? GeneralizationReview::Action::kAccept
+                    : c == 'n' ? GeneralizationReview::Action::kRejectCluster
+                               : GeneralizationReview::Action::kReject;
+    return review;
+  }
+  SplitReview ReviewSplit(const SplitProposal& p, const Relation&) override {
+    std::printf("\n%s  [a]ccept/[r]eject? ", p.ToString(schema_).c_str());
+    SplitReview review;
+    review.action = Read("ar") == 'a' ? SplitReview::Action::kAccept
+                                      : SplitReview::Action::kReject;
+    return review;
+  }
+  std::string name() const override { return "console"; }
+
+ private:
+  char Read(const std::string& allowed) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      for (char c : line) {
+        char lower = static_cast<char>(std::tolower(c));
+        if (allowed.find(lower) != std::string::npos) return lower;
+      }
+      std::printf("  [%s]? ", allowed.c_str());
+    }
+    return allowed[0];
+  }
+  const Schema& schema_;
+};
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  std::string dir = argv[0];
+  size_t rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+  Scenario scenario = DefaultScenario(rows, seed);
+  Dataset dataset = GenerateDataset(scenario.options);
+  // Reveal reported labels for the first half so `refine` has work to do.
+  Rng rng(seed);
+  RevealLabels(dataset.relation.get(), 0, rows / 2,
+               dataset.options.label_coverage, dataset.options.mislabel_fraction,
+               dataset.options.false_fraud_fraction, &rng);
+  Status st = SaveDataset(*dataset.relation, dir);
+  if (!st.ok()) return Fail(st);
+  RuleSet initial = SynthesizeInitialRules(dataset);
+  st = SaveRuleSet(initial, *dataset.cc.schema, dir + "/initial.rules");
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %zu transactions to %s (labels revealed for the first "
+              "half) and %zu initial rules to %s/initial.rules\n",
+              rows, dir.c_str(), initial.size(), dir.c_str());
+  return 0;
+}
+
+int CmdShow(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  auto loaded = LoadDataset(argv[0]);
+  if (!loaded.ok()) return Fail(loaded.status());
+  const Relation& rel = **loaded;
+  std::printf("%zu transactions, %zu attributes\n", rel.NumRows(),
+              rel.schema().arity());
+  TablePrinter table({"label", "reported", "ground truth"});
+  for (Label l : {Label::kFraud, Label::kLegitimate, Label::kUnlabeled}) {
+    table.AddRow({LabelName(l),
+                  TablePrinter::Int(static_cast<long long>(rel.CountVisible(l))),
+                  TablePrinter::Int(static_cast<long long>(
+                      rel.RowsWithTrueLabel(l).size()))});
+  }
+  table.Print();
+  for (size_t r = 0; r < std::min<size_t>(5, rel.NumRows()); ++r) {
+    std::printf("  %s\n", rel.RowToString(r).c_str());
+  }
+  return 0;
+}
+
+int CmdRefine(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto loaded = LoadDataset(argv[0]);
+  if (!loaded.ok()) return Fail(loaded.status());
+  Relation& rel = **loaded;
+  auto rules = LoadRuleSet(rel.schema(), argv[1]);
+  if (!rules.ok()) return Fail(rules.status());
+  double prefix_frac = FlagValue(argc, argv, "--prefix-frac", 1.0);
+  size_t prefix = static_cast<size_t>(prefix_frac * rel.NumRows());
+
+  std::unique_ptr<Expert> expert;
+  if (HasFlag(argc, argv, "--console")) {
+    expert = std::make_unique<ConsoleExpert>(rel.schema());
+  } else {
+    expert = std::make_unique<AutoAcceptExpert>();
+  }
+  SessionOptions options;
+  RefinementSession session(rel, options);
+  EditLog log;
+  SessionStats stats = session.Refine(prefix, &rules.ValueOrDie(), expert.get(),
+                                      &log);
+  std::printf("refined in %d round(s): %zu edits (%zu updates), %zu rules\n",
+              stats.rounds, log.size(), log.NumUpdates(),
+              rules.ValueOrDie().size());
+  Status st = SaveRuleSet(rules.ValueOrDie(), rel.schema(), argv[2]);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %s\n", argv[2]);
+  return 0;
+}
+
+int CmdEvaluate(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto loaded = LoadDataset(argv[0]);
+  if (!loaded.ok()) return Fail(loaded.status());
+  const Relation& rel = **loaded;
+  auto rules = LoadRuleSet(rel.schema(), argv[1]);
+  if (!rules.ok()) return Fail(rules.status());
+  double from = FlagValue(argc, argv, "--from-frac", 0.5);
+  size_t begin = static_cast<size_t>(from * rel.NumRows());
+  PredictionQuality q = EvaluateOnRange(rel, *rules, begin, rel.NumRows());
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"rows evaluated", TablePrinter::Int(static_cast<long long>(q.rows))});
+  table.AddRow({"fraud captured", TablePrinter::Int(static_cast<long long>(
+                                      q.fraud_captured))});
+  table.AddRow({"fraud missed", TablePrinter::Int(static_cast<long long>(
+                                    q.fraud_missed))});
+  table.AddRow({"false positives", TablePrinter::Int(static_cast<long long>(
+                                       q.legit_captured))});
+  table.AddRow({"miss %", TablePrinter::Num(q.MissPct(), 2)});
+  table.AddRow({"false positive %", TablePrinter::Num(q.FalsePositivePct(), 3)});
+  table.AddRow({"balanced error %", TablePrinter::Num(q.BalancedErrorPct(), 2)});
+  table.AddRow({"F1", TablePrinter::Num(q.F1(), 3)});
+  table.Print();
+  return 0;
+}
+
+int CmdSimplify(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto loaded = LoadDataset(argv[0]);
+  if (!loaded.ok()) return Fail(loaded.status());
+  const Relation& rel = **loaded;
+  auto rules = LoadRuleSet(rel.schema(), argv[1]);
+  if (!rules.ok()) return Fail(rules.status());
+  EditLog log;
+  SimplifyStats stats = SimplifyRuleSet(rel.schema(), &rules.ValueOrDie(), &log);
+  std::printf("removed %zu duplicates, %zu subsumed, %zu empty; merged %zu\n",
+              stats.duplicates_removed, stats.subsumed_removed,
+              stats.empty_removed, stats.merged);
+  Status st = SaveRuleSet(rules.ValueOrDie(), rel.schema(), argv[2]);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %s (%zu rules)\n", argv[2], rules.ValueOrDie().size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  int rest_argc = argc - 2;
+  char** rest = argv + 2;
+  if (cmd == "generate") return CmdGenerate(rest_argc, rest);
+  if (cmd == "show") return CmdShow(rest_argc, rest);
+  if (cmd == "refine") return CmdRefine(rest_argc, rest);
+  if (cmd == "evaluate") return CmdEvaluate(rest_argc, rest);
+  if (cmd == "simplify") return CmdSimplify(rest_argc, rest);
+  return Usage();
+}

@@ -1,0 +1,61 @@
+#include "baselines/baselines.h"
+
+#include "ml/threshold.h"
+
+namespace rudolf {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kRudolf:
+      return "rudolf";
+    case Method::kRudolfNovice:
+      return "rudolf-novice";
+    case Method::kRudolfMinus:
+      return "rudolf-minus";
+    case Method::kRudolfNoOntology:
+      return "rudolf-s";
+    case Method::kManual:
+      return "manual";
+    case Method::kThresholdMl:
+      return "threshold-ml";
+    case Method::kNoChange:
+      return "no-change";
+  }
+  return "?";
+}
+
+ThresholdBaseline::ThresholdBaseline(const Dataset& dataset) : dataset_(dataset) {}
+
+void ThresholdBaseline::RefineRound(RuleSet* rules, size_t prefix_rows,
+                                    EditLog* log) {
+  const Relation& relation = *dataset_.relation;
+  size_t prefix = std::min(prefix_rows, relation.NumRows());
+  std::vector<size_t> rows(prefix);
+  for (size_t i = 0; i < prefix; ++i) rows[i] = i;
+  int t = TuneScoreThreshold(relation, rows, dataset_.cc.layout.risk_score);
+  if (rule_id_ == kInvalidRule) {
+    rule_id_ = rules->AddRule(
+        MakeThresholdRule(relation.schema(), dataset_.cc.layout.risk_score, t));
+    threshold_ = t;
+    Edit edit;
+    edit.kind = EditKind::kAddRule;
+    edit.source = EditSource::kSystem;
+    edit.rule = rule_id_;
+    edit.note = "threshold rule";
+    log->Record(std::move(edit));
+    return;
+  }
+  if (t == threshold_) return;
+  threshold_ = t;
+  rules->Replace(rule_id_, MakeThresholdRule(relation.schema(),
+                                             dataset_.cc.layout.risk_score, t));
+  Edit edit;
+  edit.kind = EditKind::kModifyCondition;
+  edit.source = EditSource::kSystem;
+  edit.rule = rule_id_;
+  edit.attribute = dataset_.cc.layout.risk_score;
+  edit.note = "retune threshold";
+  log->Record(std::move(edit));
+}
+
+}  // namespace rudolf

@@ -1,0 +1,51 @@
+// The comparison methods of Section 5: RUDOLF and its ablations, the
+// fully-manual expert workflow, the fully-automatic ML-score threshold rule,
+// and No Change.
+
+#ifndef RUDOLF_BASELINES_BASELINES_H_
+#define RUDOLF_BASELINES_BASELINES_H_
+
+#include <string>
+
+#include "rules/edit.h"
+#include "rules/rule_set.h"
+#include "workload/generator.h"
+
+namespace rudolf {
+
+/// Every method the experiment runner can drive.
+enum class Method {
+  kRudolf,            ///< RUDOLF with a simulated domain expert
+  kRudolfNovice,      ///< RUDOLF with a simulated student volunteer
+  kRudolfMinus,       ///< RUDOLF⁻: auto-accept, no expert in the loop
+  kRudolfNoOntology,  ///< RUDOLF -s: numeric-only refinement
+  kManual,            ///< fully-manual expert editing
+  kThresholdMl,       ///< single "risk_score >= t" rule, retuned each round
+  kNoChange,          ///< the initial rules, never touched
+};
+
+/// Short display name ("rudolf", "manual", ...).
+const char* MethodName(Method method);
+
+/// \brief The fully-automatic baseline: maintains a single threshold rule
+/// over the mirrored risk-score attribute, re-tuned on the labeled prefix
+/// at every refinement round.
+class ThresholdBaseline {
+ public:
+  explicit ThresholdBaseline(const Dataset& dataset);
+
+  /// Re-tunes the threshold on rows [0, prefix_rows) and updates the single
+  /// rule in `rules` (adding it on the first call). Changes are logged.
+  void RefineRound(RuleSet* rules, size_t prefix_rows, EditLog* log);
+
+  int current_threshold() const { return threshold_; }
+
+ private:
+  const Dataset& dataset_;
+  RuleId rule_id_ = kInvalidRule;
+  int threshold_ = 1001;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_BASELINES_BASELINES_H_

@@ -1,0 +1,64 @@
+#include "cluster/distance.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rudolf {
+
+TupleDistance::TupleDistance(std::shared_ptr<const Schema> schema,
+                             DistanceOptions options)
+    : schema_(std::move(schema)), weights_(std::move(options.weights)) {
+  if (weights_.empty()) weights_.assign(schema_->arity(), 1.0);
+  assert(weights_.size() == schema_->arity());
+}
+
+double TupleDistance::operator()(const Tuple& a, const Tuple& b) const {
+  assert(a.size() == schema_->arity() && b.size() == schema_->arity());
+  double total = 0.0;
+  for (size_t i = 0; i < schema_->arity(); ++i) {
+    const AttributeDef& def = schema_->attribute(i);
+    if (def.kind == AttrKind::kNumeric) {
+      total += weights_[i] *
+               std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+    } else {
+      ConceptId ca = static_cast<ConceptId>(a[i]);
+      ConceptId cb = static_cast<ConceptId>(b[i]);
+      if (ca != cb) {
+        int up_ab = def.ontology->UpwardDistance(ca, cb);
+        int up_ba = def.ontology->UpwardDistance(cb, ca);
+        total += weights_[i] * (up_ab + up_ba) / 2.0;
+      }
+    }
+  }
+  return total;
+}
+
+DistanceOptions ScaledDistanceOptions(const Relation& relation,
+                                      const std::vector<size_t>& rows) {
+  const Schema& schema = relation.schema();
+  DistanceOptions out;
+  out.weights.assign(schema.arity(), 1.0);
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    const AttributeDef& def = schema.attribute(i);
+    if (def.kind == AttrKind::kNumeric) {
+      if (rows.empty()) continue;
+      int64_t lo = relation.Get(rows[0], i);
+      int64_t hi = lo;
+      for (size_t r : rows) {
+        int64_t v = relation.Get(r, i);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      out.weights[i] = 1.0 / (1.0 + static_cast<double>(hi - lo));
+    } else {
+      int max_depth = 0;
+      for (ConceptId c = 0; c < def.ontology->size(); ++c) {
+        max_depth = std::max(max_depth, def.ontology->Depth(c));
+      }
+      out.weights[i] = 1.0 / (1.0 + static_cast<double>(max_depth));
+    }
+  }
+  return out;
+}
+
+}  // namespace rudolf

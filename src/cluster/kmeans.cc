@@ -1,0 +1,93 @@
+#include "cluster/kmeans.h"
+
+#include <cassert>
+#include <limits>
+
+namespace rudolf {
+
+std::vector<std::vector<size_t>> KMedoidsCluster(const Relation& relation,
+                                                 const std::vector<size_t>& rows,
+                                                 const TupleDistance& metric,
+                                                 const KMedoidsOptions& options) {
+  const size_t n = rows.size();
+  if (n == 0) return {};
+  size_t k = std::min(options.k, n);
+  if (k == 0) k = 1;
+
+  std::vector<Tuple> tuples;
+  tuples.reserve(n);
+  for (size_t r : rows) tuples.push_back(relation.GetRow(r));
+
+  Rng rng(options.seed);
+
+  // --- k-means++ seeding over indices into `tuples`.
+  std::vector<size_t> medoids;
+  medoids.push_back(static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1)));
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  while (medoids.size() < k) {
+    size_t last = medoids.back();
+    std::vector<double> weights(n);
+    for (size_t i = 0; i < n; ++i) {
+      min_dist[i] = std::min(min_dist[i], metric(tuples[i], tuples[last]));
+      weights[i] = min_dist[i] * min_dist[i];
+    }
+    size_t next = rng.WeightedIndex(weights);
+    // All remaining points may coincide with existing medoids; stop early.
+    if (min_dist[next] == 0.0) break;
+    medoids.push_back(next);
+  }
+  k = medoids.size();
+
+  // --- Lloyd-style iterations with medoid updates.
+  std::vector<size_t> assign(n, 0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    // Assignment step.
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        double d = metric(tuples[i], tuples[medoids[c]]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Medoid update: the member minimizing the within-cluster distance sum.
+    for (size_t c = 0; c < k; ++c) {
+      std::vector<size_t> members;
+      for (size_t i = 0; i < n; ++i) {
+        if (assign[i] == c) members.push_back(i);
+      }
+      if (members.empty()) continue;
+      size_t best_m = members[0];
+      double best_sum = std::numeric_limits<double>::infinity();
+      for (size_t m : members) {
+        double sum = 0;
+        for (size_t o : members) sum += metric(tuples[m], tuples[o]);
+        if (sum < best_sum) {
+          best_sum = sum;
+          best_m = m;
+        }
+      }
+      medoids[c] = best_m;
+    }
+  }
+
+  std::vector<std::vector<size_t>> clusters(k);
+  for (size_t i = 0; i < n; ++i) clusters[assign[i]].push_back(rows[i]);
+  // Drop empty clusters.
+  std::vector<std::vector<size_t>> out;
+  for (auto& c : clusters) {
+    if (!c.empty()) out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace rudolf

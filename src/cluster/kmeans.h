@@ -1,0 +1,33 @@
+// k-medoids clustering with k-means++ seeding over the mixed tuple distance.
+// Medoids (rather than means) keep centers valid for categorical attributes.
+
+#ifndef RUDOLF_CLUSTER_KMEANS_H_
+#define RUDOLF_CLUSTER_KMEANS_H_
+
+#include <vector>
+
+#include "cluster/distance.h"
+#include "util/random.h"
+
+namespace rudolf {
+
+/// Tuning of KMedoidsCluster.
+struct KMedoidsOptions {
+  size_t k = 8;             ///< number of clusters (clamped to |rows|)
+  int max_iterations = 20;  ///< assignment/update rounds
+  uint64_t seed = 42;       ///< k-means++ seeding randomness
+};
+
+/// \brief k-medoids over the given rows.
+///
+/// Seeds with k-means++ (distance-squared weighted), then alternates
+/// nearest-medoid assignment and exact medoid recomputation until stable or
+/// `max_iterations`. Empty clusters are dropped from the result.
+std::vector<std::vector<size_t>> KMedoidsCluster(const Relation& relation,
+                                                 const std::vector<size_t>& rows,
+                                                 const TupleDistance& metric,
+                                                 const KMedoidsOptions& options);
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_CLUSTER_KMEANS_H_

@@ -1,0 +1,29 @@
+#include "cluster/leader.h"
+
+namespace rudolf {
+
+std::vector<std::vector<size_t>> LeaderCluster(const Relation& relation,
+                                               const std::vector<size_t>& rows,
+                                               const TupleDistance& metric,
+                                               double threshold) {
+  std::vector<std::vector<size_t>> clusters;
+  std::vector<Tuple> leaders;
+  for (size_t row : rows) {
+    Tuple t = relation.GetRow(row);
+    bool placed = false;
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      if (metric(leaders[c], t) <= threshold) {
+        clusters[c].push_back(row);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      clusters.push_back({row});
+      leaders.push_back(std::move(t));
+    }
+  }
+  return clusters;
+}
+
+}  // namespace rudolf

@@ -1,0 +1,27 @@
+// Leader (single-pass threshold) clustering: deterministic, order-sensitive,
+// and fast — the default strategy for grouping the uncaptured fraudulent
+// transactions before computing representatives.
+
+#ifndef RUDOLF_CLUSTER_LEADER_H_
+#define RUDOLF_CLUSTER_LEADER_H_
+
+#include <vector>
+
+#include "cluster/distance.h"
+
+namespace rudolf {
+
+/// \brief Single-pass leader clustering.
+///
+/// Scans `rows` in order; a row joins the first existing cluster whose
+/// *leader* (first member) is within `threshold` under `metric`, otherwise it
+/// founds a new cluster. Returns clusters as row-index groups in foundation
+/// order.
+std::vector<std::vector<size_t>> LeaderCluster(const Relation& relation,
+                                               const std::vector<size_t>& rows,
+                                               const TupleDistance& metric,
+                                               double threshold);
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_CLUSTER_LEADER_H_

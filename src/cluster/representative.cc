@@ -1,0 +1,51 @@
+#include "cluster/representative.h"
+
+#include <cassert>
+
+namespace rudolf {
+
+namespace {
+
+// Builds the representative from a cell accessor: get(row_index, attr).
+template <typename GetCell>
+Rule BuildRepresentative(const Schema& schema, size_t count, GetCell&& get) {
+  assert(count > 0);
+  Rule rep = Rule::Trivial(schema);
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    const AttributeDef& def = schema.attribute(i);
+    if (def.kind == AttrKind::kNumeric) {
+      int64_t lo = get(0, i);
+      int64_t hi = lo;
+      for (size_t r = 1; r < count; ++r) {
+        int64_t v = get(r, i);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      rep.set_condition(i, Condition::MakeNumeric({lo, hi}));
+    } else {
+      std::vector<ConceptId> values;
+      values.reserve(count);
+      for (size_t r = 0; r < count; ++r) {
+        values.push_back(static_cast<ConceptId>(get(r, i)));
+      }
+      rep.set_condition(i, Condition::MakeCategorical(def.ontology->JoinAll(values)));
+    }
+  }
+  return rep;
+}
+
+}  // namespace
+
+Rule RepresentativeOfRows(const Relation& relation, const std::vector<size_t>& rows) {
+  return BuildRepresentative(
+      relation.schema(), rows.size(),
+      [&](size_t r, size_t attr) { return relation.Get(rows[r], attr); });
+}
+
+Rule RepresentativeOfTuples(const Schema& schema, const std::vector<Tuple>& tuples) {
+  return BuildRepresentative(schema, tuples.size(), [&](size_t r, size_t attr) {
+    return tuples[r][attr];
+  });
+}
+
+}  // namespace rudolf

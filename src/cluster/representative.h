@@ -1,0 +1,26 @@
+// Representative tuples (Section 4.1): the representative f of a cluster C
+// is the "smallest tuple containing every tuple of C" — per attribute, the
+// hull interval of the numeric values, or the smallest concept containing
+// all the categorical values. A representative has exactly the shape of a
+// Rule, so it is one: "rule r captures f" is Rule::ContainsRule(r, f).
+
+#ifndef RUDOLF_CLUSTER_REPRESENTATIVE_H_
+#define RUDOLF_CLUSTER_REPRESENTATIVE_H_
+
+#include <vector>
+
+#include "relation/relation.h"
+#include "rules/rule.h"
+
+namespace rudolf {
+
+/// Representative of the given rows of the relation. Requires `rows`
+/// non-empty.
+Rule RepresentativeOfRows(const Relation& relation, const std::vector<size_t>& rows);
+
+/// Representative of materialized tuples. Requires `tuples` non-empty.
+Rule RepresentativeOfTuples(const Schema& schema, const std::vector<Tuple>& tuples);
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_CLUSTER_REPRESENTATIVE_H_

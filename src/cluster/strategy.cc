@@ -1,0 +1,47 @@
+#include "cluster/strategy.h"
+
+#include "cluster/kmeans.h"
+#include "cluster/leader.h"
+#include "cluster/streaming_kmeans.h"
+
+namespace rudolf {
+
+const char* ClusteringStrategyName(ClusteringStrategy strategy) {
+  switch (strategy) {
+    case ClusteringStrategy::kLeader:
+      return "leader";
+    case ClusteringStrategy::kKMedoids:
+      return "kmedoids";
+    case ClusteringStrategy::kStreamingKMeans:
+      return "streaming-kmeans";
+  }
+  return "?";
+}
+
+std::vector<std::vector<size_t>> ClusterRows(const Relation& relation,
+                                             const std::vector<size_t>& rows,
+                                             const ClusteringOptions& options) {
+  if (rows.empty()) return {};
+  TupleDistance metric(relation.shared_schema(),
+                       ScaledDistanceOptions(relation, rows));
+  switch (options.strategy) {
+    case ClusteringStrategy::kLeader:
+      return LeaderCluster(relation, rows, metric, options.leader_threshold);
+    case ClusteringStrategy::kKMedoids: {
+      KMedoidsOptions ko;
+      ko.k = options.k;
+      ko.seed = options.seed;
+      return KMedoidsCluster(relation, rows, metric, ko);
+    }
+    case ClusteringStrategy::kStreamingKMeans: {
+      StreamingKMeansOptions so;
+      so.target_k = options.k;
+      so.seed = options.seed;
+      so.initial_cost = options.leader_threshold;
+      return StreamingKMeansCluster(relation, rows, metric, so);
+    }
+  }
+  return {};
+}
+
+}  // namespace rudolf

@@ -1,0 +1,43 @@
+// Strategy dispatch for the clustering step of Algorithm 1. The engine is
+// parameterized on the strategy so the ablation bench can compare them.
+
+#ifndef RUDOLF_CLUSTER_STRATEGY_H_
+#define RUDOLF_CLUSTER_STRATEGY_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/distance.h"
+
+namespace rudolf {
+
+/// Available clustering algorithms.
+enum class ClusteringStrategy {
+  kLeader,           ///< single-pass threshold clustering (default)
+  kKMedoids,         ///< k-means++-seeded k-medoids
+  kStreamingKMeans,  ///< Shindler et al.-style streaming facility location
+};
+
+const char* ClusteringStrategyName(ClusteringStrategy strategy);
+
+/// Unified options for ClusterRows.
+struct ClusteringOptions {
+  ClusteringStrategy strategy = ClusteringStrategy::kLeader;
+  /// Leader: join threshold under the scaled metric. With ScaledDistance
+  /// weights every attribute contributes ≤ 1, so thresholds are roughly in
+  /// units of "number of clearly different attributes".
+  double leader_threshold = 0.75;
+  /// KMedoids / streaming: target number of clusters.
+  size_t k = 8;
+  uint64_t seed = 42;
+};
+
+/// Clusters `rows` under the scaled mixed metric per the chosen strategy.
+/// Returns non-empty groups of row indices that partition `rows`.
+std::vector<std::vector<size_t>> ClusterRows(const Relation& relation,
+                                             const std::vector<size_t>& rows,
+                                             const ClusteringOptions& options);
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_CLUSTER_STRATEGY_H_

@@ -1,0 +1,91 @@
+#include "cluster/streaming_kmeans.h"
+
+#include <limits>
+
+namespace rudolf {
+
+namespace {
+
+struct Facility {
+  Tuple center;
+  size_t weight = 1;  // number of points absorbed
+};
+
+// Nearest facility index and its distance.
+std::pair<size_t, double> Nearest(const std::vector<Facility>& facilities,
+                                  const TupleDistance& metric, const Tuple& t) {
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < facilities.size(); ++i) {
+    double d = metric(facilities[i].center, t);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return {best, best_d};
+}
+
+}  // namespace
+
+std::vector<std::vector<size_t>> StreamingKMeansCluster(
+    const Relation& relation, const std::vector<size_t>& rows,
+    const TupleDistance& metric, const StreamingKMeansOptions& options) {
+  if (rows.empty()) return {};
+  Rng rng(options.seed);
+  double f = options.initial_cost;
+  const size_t max_facilities = std::max<size_t>(options.target_k * 4, 8);
+
+  std::vector<Facility> facilities;
+  for (size_t row : rows) {
+    Tuple t = relation.GetRow(row);
+    if (facilities.empty()) {
+      facilities.push_back({std::move(t), 1});
+      continue;
+    }
+    auto [idx, d] = Nearest(facilities, metric, t);
+    // Open a new facility with probability min(d/f, 1); otherwise absorb.
+    if (rng.Bernoulli(std::min(d / f, 1.0))) {
+      facilities.push_back({std::move(t), 1});
+    } else {
+      ++facilities[idx].weight;
+    }
+    // Consolidate when over budget: double the cost and re-stream the
+    // facilities against each other (weighted).
+    while (facilities.size() > max_facilities) {
+      f *= 2.0;
+      std::vector<Facility> merged;
+      for (Facility& fac : facilities) {
+        if (merged.empty()) {
+          merged.push_back(std::move(fac));
+          continue;
+        }
+        auto [midx, md] = Nearest(merged, metric, fac.center);
+        double open_prob =
+            std::min(md * static_cast<double>(fac.weight) / f, 1.0);
+        if (rng.Bernoulli(open_prob)) {
+          merged.push_back(std::move(fac));
+        } else {
+          merged[midx].weight += fac.weight;
+        }
+      }
+      facilities = std::move(merged);
+    }
+  }
+
+  // Final assignment pass: each row to its nearest surviving facility.
+  std::vector<std::vector<size_t>> clusters(facilities.size());
+  for (size_t row : rows) {
+    Tuple t = relation.GetRow(row);
+    auto [idx, d] = Nearest(facilities, metric, t);
+    (void)d;
+    clusters[idx].push_back(row);
+  }
+  std::vector<std::vector<size_t>> out;
+  for (auto& c : clusters) {
+    if (!c.empty()) out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace rudolf

@@ -1,0 +1,37 @@
+// Streaming facility-location clustering in the style of Shindler, Wong &
+// Meyerson, "Fast and Accurate k-means for Large Datasets" (NIPS 2011) —
+// the clustering the paper's implementation cites ([12]). One pass over the
+// stream: each point either joins its nearest facility (probabilistically,
+// by distance/cost ratio) or opens a new one; when too many facilities are
+// open, the facility cost doubles and facilities are re-consolidated.
+
+#ifndef RUDOLF_CLUSTER_STREAMING_KMEANS_H_
+#define RUDOLF_CLUSTER_STREAMING_KMEANS_H_
+
+#include <vector>
+
+#include "cluster/distance.h"
+#include "util/random.h"
+
+namespace rudolf {
+
+/// Tuning of StreamingKMeansCluster.
+struct StreamingKMeansOptions {
+  size_t target_k = 8;         ///< desired number of facilities
+  double initial_cost = 1.0;   ///< initial facility cost f
+  uint64_t seed = 42;          ///< probabilistic-opening randomness
+};
+
+/// \brief One-pass streaming facility-location clustering.
+///
+/// Maintains at most ~C·target_k open facilities; exceeding the bound
+/// doubles the facility cost and merges facilities against each other by
+/// the same rule. Each input row ends up assigned to its final nearest
+/// facility (a second cheap pass fixes assignments after merges).
+std::vector<std::vector<size_t>> StreamingKMeansCluster(
+    const Relation& relation, const std::vector<size_t>& rows,
+    const TupleDistance& metric, const StreamingKMeansOptions& options);
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_CLUSTER_STREAMING_KMEANS_H_

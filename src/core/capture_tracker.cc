@@ -1,0 +1,112 @@
+#include "core/capture_tracker.h"
+
+#include <cassert>
+
+namespace rudolf {
+
+CaptureTracker::CaptureTracker(const Relation& relation, const RuleSet& rules,
+                               size_t prefix_rows)
+    : relation_(relation),
+      prefix_(std::min(prefix_rows, relation.NumRows())),
+      evaluator_(relation, prefix_) {
+  cover_count_.assign(prefix_, 0);
+  for (RuleId id : rules.LiveIds()) {
+    Bitset capture = evaluator_.EvalRule(rules.Get(id));
+    capture.ForEach([this](size_t row) { ++cover_count_[row]; });
+    captures_.emplace(id, std::move(capture));
+  }
+}
+
+const Bitset& CaptureTracker::RuleCapture(RuleId id) const {
+  auto it = captures_.find(id);
+  assert(it != captures_.end());
+  return it->second;
+}
+
+Bitset CaptureTracker::UnionCapture() const {
+  Bitset out(prefix_);
+  for (size_t r = 0; r < prefix_; ++r) {
+    if (cover_count_[r] > 0) out.Set(r);
+  }
+  return out;
+}
+
+LabelCounts CaptureTracker::TotalCounts() const {
+  return evaluator_.CountsVisible(UnionCapture());
+}
+
+Bitset CaptureTracker::Eval(const Rule& rule) const {
+  return evaluator_.EvalRule(rule);
+}
+
+BenefitDelta CaptureTracker::DeltaBetween(const Bitset& old_capture,
+                                          const Bitset& new_capture) const {
+  BenefitDelta delta;
+  auto classify = [&](size_t row, int direction) {
+    switch (relation_.VisibleLabel(row)) {
+      case Label::kFraud:
+        delta.fraud += direction;  // ΔF counts *increase* in captured fraud
+        break;
+      case Label::kLegitimate:
+        delta.legit -= direction;  // ΔL counts *decrease* in captured legit
+        break;
+      case Label::kUnlabeled:
+        delta.unlabeled -= direction;  // ΔR likewise
+        break;
+    }
+  };
+  // Rows newly covered: in new, not in old, not covered by any other rule.
+  new_capture.ForEach([&](size_t row) {
+    if (!old_capture.Test(row) && cover_count_[row] == 0) classify(row, +1);
+  });
+  // Rows newly uncovered: in old, not in new, covered only by this rule.
+  old_capture.ForEach([&](size_t row) {
+    if (!new_capture.Test(row) && cover_count_[row] == 1) classify(row, -1);
+  });
+  return delta;
+}
+
+BenefitDelta CaptureTracker::DeltaForReplace(RuleId id,
+                                             const Bitset& new_capture) const {
+  return DeltaBetween(RuleCapture(id), new_capture);
+}
+
+BenefitDelta CaptureTracker::DeltaForAdd(const Bitset& capture) const {
+  Bitset empty(prefix_);
+  return DeltaBetween(empty, capture);
+}
+
+BenefitDelta CaptureTracker::DeltaForRemove(RuleId id) const {
+  Bitset empty(prefix_);
+  return DeltaBetween(RuleCapture(id), empty);
+}
+
+BenefitDelta CaptureTracker::DeltaForReplaceMany(
+    RuleId id, const std::vector<Bitset>& captures) const {
+  Bitset unioned(prefix_);
+  for (const Bitset& b : captures) unioned |= b;
+  return DeltaBetween(RuleCapture(id), unioned);
+}
+
+void CaptureTracker::ApplyReplace(RuleId id, Bitset new_capture) {
+  auto it = captures_.find(id);
+  assert(it != captures_.end());
+  it->second.ForEach([this](size_t row) { --cover_count_[row]; });
+  new_capture.ForEach([this](size_t row) { ++cover_count_[row]; });
+  it->second = std::move(new_capture);
+}
+
+void CaptureTracker::ApplyAdd(RuleId id, Bitset capture) {
+  assert(captures_.find(id) == captures_.end());
+  capture.ForEach([this](size_t row) { ++cover_count_[row]; });
+  captures_.emplace(id, std::move(capture));
+}
+
+void CaptureTracker::ApplyRemove(RuleId id) {
+  auto it = captures_.find(id);
+  assert(it != captures_.end());
+  it->second.ForEach([this](size_t row) { --cover_count_[row]; });
+  captures_.erase(it);
+}
+
+}  // namespace rudolf

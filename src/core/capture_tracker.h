@@ -1,0 +1,85 @@
+// Incremental accounting of Φ(I): which rows each live rule captures, how
+// many rules capture each row, and what the benefit deltas of hypothetical
+// edits (replace / add / remove a rule) would be — without re-evaluating the
+// whole rule set. This is what keeps Algorithm 1/2 proposal scoring under
+// the paper's "at most one second".
+
+#ifndef RUDOLF_CORE_CAPTURE_TRACKER_H_
+#define RUDOLF_CORE_CAPTURE_TRACKER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "rules/evaluator.h"
+#include "rules/rule_set.h"
+
+namespace rudolf {
+
+/// \brief Tracks per-rule capture bitmaps over a prefix of the relation.
+///
+/// The tracker is bound to the first `prefix_rows` rows ("the past" the
+/// algorithms are allowed to see); the rule set may be edited through the
+/// Apply* methods, which keep the bitmaps and cover counts consistent.
+class CaptureTracker {
+ public:
+  /// Builds bitmaps for every live rule of `rules` over the first
+  /// `prefix_rows` rows of `relation` (SIZE_MAX = all rows).
+  CaptureTracker(const Relation& relation, const RuleSet& rules,
+                 size_t prefix_rows = static_cast<size_t>(-1));
+
+  size_t prefix_rows() const { return prefix_; }
+  const RuleEvaluator& evaluator() const { return evaluator_; }
+
+  /// Capture bitmap of one live rule.
+  const Bitset& RuleCapture(RuleId id) const;
+
+  /// Rows captured by the whole rule set (cover count > 0).
+  Bitset UnionCapture() const;
+
+  /// Visible-label counts of the current Φ(I).
+  LabelCounts TotalCounts() const;
+
+  /// True if the row is captured by at least one rule.
+  bool IsCovered(size_t row) const { return cover_count_[row] > 0; }
+
+  /// Number of live rules capturing the row.
+  uint32_t CoverCount(size_t row) const { return cover_count_[row]; }
+
+  /// Evaluates a rule over the prefix (convenience wrapper).
+  Bitset Eval(const Rule& rule) const;
+
+  /// Benefit delta if rule `id`'s capture became `new_capture`.
+  BenefitDelta DeltaForReplace(RuleId id, const Bitset& new_capture) const;
+
+  /// Benefit delta if a rule with capture `capture` were added.
+  BenefitDelta DeltaForAdd(const Bitset& capture) const;
+
+  /// Benefit delta if rule `id` were removed.
+  BenefitDelta DeltaForRemove(RuleId id) const;
+
+  /// Benefit delta if rule `id` were replaced by several rules whose
+  /// captures are `captures` (used for splits).
+  BenefitDelta DeltaForReplaceMany(RuleId id,
+                                   const std::vector<Bitset>& captures) const;
+
+  /// Mutations (keep `rules` itself in sync separately).
+  void ApplyReplace(RuleId id, Bitset new_capture);
+  void ApplyAdd(RuleId id, Bitset capture);
+  void ApplyRemove(RuleId id);
+
+ private:
+  // Classifies the row-coverage transition of replacing old with new.
+  BenefitDelta DeltaBetween(const Bitset& old_capture,
+                            const Bitset& new_capture) const;
+
+  const Relation& relation_;
+  size_t prefix_;
+  RuleEvaluator evaluator_;
+  std::unordered_map<RuleId, Bitset> captures_;
+  std::vector<uint32_t> cover_count_;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_CORE_CAPTURE_TRACKER_H_

@@ -1,0 +1,36 @@
+#include "core/cost_model.h"
+
+namespace rudolf {
+
+BenefitDelta DeltaFromCounts(const LabelCounts& before, const LabelCounts& after) {
+  BenefitDelta d;
+  d.fraud = static_cast<int64_t>(after.fraud) - static_cast<int64_t>(before.fraud);
+  d.legit = static_cast<int64_t>(before.legitimate) -
+            static_cast<int64_t>(after.legitimate);
+  d.unlabeled = static_cast<int64_t>(before.unlabeled) -
+                static_cast<int64_t>(after.unlabeled);
+  return d;
+}
+
+double CostModel::Benefit(const BenefitDelta& delta) const {
+  return coefficients_.alpha * static_cast<double>(delta.fraud) +
+         coefficients_.beta * static_cast<double>(delta.legit) +
+         coefficients_.gamma * static_cast<double>(delta.unlabeled);
+}
+
+double CostModel::Distance(const Schema& schema, const Rule& rule,
+                           const Rule& target) const {
+  if (attribute_weights_.empty()) {
+    int64_t d = rule.DistanceTo(schema, target);
+    return d == kPosInf ? 1e18 : static_cast<double>(d);
+  }
+  return rule.WeightedDistanceTo(schema, target, attribute_weights_);
+}
+
+double CostModel::GeneralizationScore(const Schema& schema, const Rule& rule,
+                                      const Rule& target,
+                                      const BenefitDelta& delta) const {
+  return Distance(schema, rule, target) - Benefit(delta);
+}
+
+}  // namespace rudolf

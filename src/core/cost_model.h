@@ -1,0 +1,85 @@
+// The cost model of Definition 3.1 and Equation 2. A candidate modification
+// is scored as  cost(M) − (α·ΔF + β·ΔL + γ·ΔR)  where
+//   ΔF = (captured fraud after) − (captured fraud before)     — increase
+//   ΔL = (captured legit before) − (captured legit after)     — decrease
+//   ΔR = (captured unlabeled before) − (captured unlabeled after) — decrease
+// For rule-generalization ranking (Equation 2) cost(M) is the Equation 1
+// distance of the rule from the representative tuple.
+
+#ifndef RUDOLF_CORE_COST_MODEL_H_
+#define RUDOLF_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rules/evaluator.h"
+#include "rules/rule.h"
+
+namespace rudolf {
+
+/// The benefit coefficients α, β, γ (all ≥ 0, user-tunable; Section 3).
+struct CostCoefficients {
+  double alpha = 10.0;  ///< weight of newly captured fraudulent transactions
+  double beta = 10.0;   ///< weight of no-longer-captured legitimate transactions
+  double gamma = 1.0;   ///< weight of no-longer-captured unlabeled transactions
+};
+
+/// Per-operation update costs (Section 2: "a cost associated with every
+/// operation/modification").
+struct OperationCosts {
+  double modify_condition = 1.0;
+  double add_rule = 1.0;
+  double remove_rule = 1.0;
+  double split_rule = 1.0;
+};
+
+/// \brief The signed deltas of Definition 3.1.
+struct BenefitDelta {
+  int64_t fraud = 0;      ///< ΔF: increase in captured fraud
+  int64_t legit = 0;      ///< ΔL: decrease in captured legitimate
+  int64_t unlabeled = 0;  ///< ΔR: decrease in captured unlabeled
+
+  bool operator==(const BenefitDelta&) const = default;
+};
+
+/// ΔF/ΔL/ΔR from before/after visible-label capture counts.
+BenefitDelta DeltaFromCounts(const LabelCounts& before, const LabelCounts& after);
+
+/// \brief Scores modifications. Optionally carries per-attribute distance
+/// weights — the "more sophisticated cost model" the paper leaves as future
+/// work, exercised by the ablation bench.
+class CostModel {
+ public:
+  CostModel() = default;
+  CostModel(CostCoefficients coefficients, OperationCosts operations)
+      : coefficients_(coefficients), operations_(operations) {}
+
+  const CostCoefficients& coefficients() const { return coefficients_; }
+  const OperationCosts& operations() const { return operations_; }
+
+  /// Sets per-attribute distance weights (empty = unweighted Equation 1).
+  void set_attribute_weights(std::vector<double> weights) {
+    attribute_weights_ = std::move(weights);
+  }
+  const std::vector<double>& attribute_weights() const { return attribute_weights_; }
+
+  /// α·ΔF + β·ΔL + γ·ΔR.
+  double Benefit(const BenefitDelta& delta) const;
+
+  /// Equation 1 distance of rule r from representative f, honoring the
+  /// attribute weights when set.
+  double Distance(const Schema& schema, const Rule& rule, const Rule& target) const;
+
+  /// Equation 2: Distance(r, f) − Benefit(delta). Lower is better.
+  double GeneralizationScore(const Schema& schema, const Rule& rule,
+                             const Rule& target, const BenefitDelta& delta) const;
+
+ private:
+  CostCoefficients coefficients_;
+  OperationCosts operations_;
+  std::vector<double> attribute_weights_;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_CORE_COST_MODEL_H_

@@ -1,0 +1,32 @@
+#include "core/feedback.h"
+
+#include <algorithm>
+
+namespace rudolf {
+
+FeedbackStats AdaptAttributeWeights(const Schema& schema, const EditLog& log,
+                                    size_t begin_edit, CostModel* model,
+                                    const FeedbackOptions& options) {
+  FeedbackStats stats;
+  std::vector<double> weights = model->attribute_weights();
+  if (weights.empty()) weights.assign(schema.arity(), 1.0);
+
+  for (size_t i = begin_edit; i < log.size(); ++i) {
+    const Edit& edit = log.edit(i);
+    if (edit.kind != EditKind::kModifyCondition) continue;
+    if (edit.attribute >= schema.arity()) continue;
+    double& w = weights[edit.attribute];
+    if (edit.source == EditSource::kSystem) {
+      ++stats.system_edits;
+      w *= 1.0 - options.step;
+    } else {
+      ++stats.expert_edits;
+      w *= 1.0 + options.step;
+    }
+    w = std::clamp(w, options.min_weight, options.max_weight);
+  }
+  model->set_attribute_weights(std::move(weights));
+  return stats;
+}
+
+}  // namespace rudolf

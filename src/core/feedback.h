@@ -1,0 +1,49 @@
+// The paper's future-work cost model, implemented: "the costs/weights can
+// be learned or adjusted based on user feedback, satisfaction of the
+// suggested modification etc." (Section 7). This module reads the edit log
+// of past sessions and adapts the per-attribute distance weights of
+// Equation 1: attributes whose system-proposed modifications the expert
+// kept getting cheaper (the system should keep proposing there), attributes
+// the expert repeatedly had to correct getting more expensive.
+
+#ifndef RUDOLF_CORE_FEEDBACK_H_
+#define RUDOLF_CORE_FEEDBACK_H_
+
+#include "core/cost_model.h"
+#include "rules/edit.h"
+
+namespace rudolf {
+
+/// Adaptation knobs.
+struct FeedbackOptions {
+  /// Multiplicative step applied per observed edit: weights grow by this
+  /// factor for expert-corrected attributes and shrink by it for accepted
+  /// system modifications.
+  double step = 0.10;
+  /// Weight clamp range (relative to the neutral 1.0).
+  double min_weight = 0.25;
+  double max_weight = 4.0;
+};
+
+/// What one adaptation pass observed.
+struct FeedbackStats {
+  size_t system_edits = 0;  ///< accepted system condition changes seen
+  size_t expert_edits = 0;  ///< expert-authored condition changes seen
+};
+
+/// \brief Adjusts `model`'s attribute weights from the condition edits in
+/// `log[begin_edit..)`.
+///
+/// System-sourced kModifyCondition edits (proposals accepted as-is) lower
+/// the attribute's weight — the expert trusts the system's judgement there;
+/// expert-sourced ones raise it — the system's proposals on that attribute
+/// needed human correction, so Equation 1 should treat modifications there
+/// as more expensive and rank candidates needing them lower. If the model
+/// has no weights yet, they are initialized to 1.0 for every attribute.
+FeedbackStats AdaptAttributeWeights(const Schema& schema, const EditLog& log,
+                                    size_t begin_edit, CostModel* model,
+                                    const FeedbackOptions& options = {});
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_CORE_FEEDBACK_H_

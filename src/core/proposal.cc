@@ -1,0 +1,40 @@
+#include "core/proposal.h"
+
+#include "util/string_util.h"
+
+namespace rudolf {
+
+std::string GeneralizationProposal::ToString(const Schema& schema) const {
+  std::string out;
+  if (IsNewRule()) {
+    out += "NEW RULE (no existing rule is close enough):\n";
+    out += "  + " + proposed.ToString(schema) + "\n";
+  } else {
+    out += StringPrintf("GENERALIZE rule %u:\n", rule_id);
+    out += "  - " + original.ToString(schema) + "\n";
+    out += "  + " + proposed.ToString(schema) + "\n";
+  }
+  out += "  to capture representative: " + representative.ToString(schema) +
+         StringPrintf(" (cluster of %zu)\n", cluster_size);
+  out += StringPrintf("  distance=%.1f  dF=%+lld dL=%+lld dR=%+lld  score=%.1f\n",
+                      distance, static_cast<long long>(delta.fraud),
+                      static_cast<long long>(delta.legit),
+                      static_cast<long long>(delta.unlabeled), score);
+  return out;
+}
+
+std::string SplitProposal::ToString(const Schema& schema) const {
+  std::string out = StringPrintf("SPLIT rule %u on attribute '%s':\n", rule_id,
+                                 schema.attribute(attribute).name.c_str());
+  out += "  - " + original.ToString(schema) + "\n";
+  for (const Rule& r : replacements) {
+    out += "  + " + r.ToString(schema) + "\n";
+  }
+  out += StringPrintf("  dF=%+lld dL=%+lld dR=%+lld  benefit=%.1f\n",
+                      static_cast<long long>(delta.fraud),
+                      static_cast<long long>(delta.legit),
+                      static_cast<long long>(delta.unlabeled), benefit);
+  return out;
+}
+
+}  // namespace rudolf

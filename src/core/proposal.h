@@ -1,0 +1,70 @@
+// Proposal objects: what RUDOLF shows the domain expert for review. A
+// generalization proposal (Algorithm 1, lines 8–16) carries the original
+// rule, the minimally generalized rule and its Equation 2 accounting; a
+// split proposal (Algorithm 2, lines 5–13) carries the replacement rules for
+// one attribute split.
+
+#ifndef RUDOLF_CORE_PROPOSAL_H_
+#define RUDOLF_CORE_PROPOSAL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "rules/rule.h"
+
+namespace rudolf {
+
+/// \brief A proposed generalization of one rule to capture a representative
+/// tuple.
+struct GeneralizationProposal {
+  /// The rule being generalized; kInvalidRule when the proposal is to add a
+  /// brand-new rule capturing exactly the representative (line 18).
+  RuleId rule_id = kInvalidRule;
+  Rule original;                       ///< current rule (empty for new rules)
+  Rule proposed;                       ///< the generalized / new rule
+  Rule representative;                 ///< the cluster representative f(C)
+  std::vector<size_t> changed_attributes;  ///< attrs where proposed != original
+  size_t cluster_size = 0;             ///< |C| behind the representative
+  /// The cluster's row indices (what the expert inspects; at scale a hull
+  /// alone cannot distinguish "a real scheme plus two stray reports" from
+  /// noise). May be empty when a caller ranks candidates for a bare
+  /// representative.
+  std::vector<size_t> cluster_rows;
+  /// Whether the proposing system refines categorical conditions (false for
+  /// RUDOLF -s). Expert revisions must not introduce refinements the system
+  /// cannot hold.
+  bool categorical_refinement = true;
+  double distance = 0.0;               ///< Equation 1
+  BenefitDelta delta;                  ///< ΔF/ΔL/ΔR of applying it
+  double score = 0.0;                  ///< Equation 2 (lower is better)
+
+  bool IsNewRule() const { return rule_id == kInvalidRule; }
+
+  /// Multi-line human-readable rendering (examples / interactive session).
+  std::string ToString(const Schema& schema) const;
+};
+
+/// \brief A proposed split of one rule on one attribute to exclude a
+/// legitimate tuple.
+struct SplitProposal {
+  RuleId rule_id = kInvalidRule;
+  Rule original;
+  size_t attribute = 0;            ///< the attribute split upon
+  std::vector<Rule> replacements;  ///< r1, r2 (numeric) or the cover rules
+  /// Visible-label capture counts of each replacement over the prefix —
+  /// what the expert inspects to decide whether a fragment is worth keeping
+  /// (Example 4.7: Elena eliminates the fraud-free r11).
+  std::vector<LabelCounts> replacement_counts;
+  Tuple excluded;                  ///< the legitimate tuple l being excluded
+  size_t excluded_row = 0;         ///< row index of l in the relation
+  BenefitDelta delta;              ///< effect of replacing the rule
+  double benefit = 0.0;            ///< α·ΔF + β·ΔL + γ·ΔR of this split
+
+  /// Multi-line human-readable rendering.
+  std::string ToString(const Schema& schema) const;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_CORE_PROPOSAL_H_

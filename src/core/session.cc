@@ -1,0 +1,88 @@
+#include "core/session.h"
+
+#include <algorithm>
+
+#include "rules/simplify.h"
+
+namespace rudolf {
+
+namespace {
+
+void Accumulate(GeneralizeStats* into, const GeneralizeStats& from) {
+  into->clusters += from.clusters;
+  into->proposals += from.proposals;
+  into->accepted += from.accepted;
+  into->revised += from.revised;
+  into->rejected += from.rejected;
+  into->new_rules += from.new_rules;
+  into->skipped_clusters += from.skipped_clusters;
+  into->expert_seconds += from.expert_seconds;
+}
+
+void Accumulate(SpecializeStats* into, const SpecializeStats& from) {
+  into->tuples += from.tuples;
+  into->proposals += from.proposals;
+  into->accepted += from.accepted;
+  into->revised += from.revised;
+  into->rejected += from.rejected;
+  into->splits_applied += from.splits_applied;
+  into->rules_removed += from.rules_removed;
+  into->skipped_tuples += from.skipped_tuples;
+  into->expert_seconds += from.expert_seconds;
+}
+
+}  // namespace
+
+RefinementSession::RefinementSession(const Relation& relation,
+                                     SessionOptions options)
+    : RefinementSession(relation, relation.NumRows(), std::move(options)) {}
+
+RefinementSession::RefinementSession(const Relation& relation, size_t prefix_rows,
+                                     SessionOptions options)
+    : relation_(relation),
+      default_prefix_(std::min(prefix_rows, relation.NumRows())),
+      options_(options),
+      generalizer_(relation, options.generalize),
+      specializer_(relation, options.specialize) {}
+
+SessionStats RefinementSession::Refine(RuleSet* rules, Expert* expert,
+                                       EditLog* log) {
+  return Refine(default_prefix_, rules, expert, log);
+}
+
+SessionStats RefinementSession::Refine(size_t prefix_rows, RuleSet* rules,
+                                       Expert* expert, EditLog* log) {
+  SessionStats stats;
+  size_t prefix = std::min(prefix_rows, relation_.NumRows());
+  size_t edits_before = log->size();
+
+  for (int round = 0; round < options_.max_rounds; ++round) {
+    CaptureTracker tracker(relation_, *rules, prefix);
+    size_t edits_at_round_start = log->size();
+
+    GeneralizeStats g = generalizer_.Run(rules, &tracker, expert, log);
+    Accumulate(&stats.generalize, g);
+    SpecializeStats s = specializer_.Run(rules, &tracker, expert, log);
+    Accumulate(&stats.specialize, s);
+
+    ++stats.rounds;
+    if (log->size() == edits_at_round_start) break;  // fixpoint
+  }
+  if (options_.retire_obsolete) {
+    CaptureTracker tracker(relation_, *rules, prefix);
+    RetireStats retired = RetireObsoleteRules(relation_, rules, &tracker, expert,
+                                              log, options_.drift);
+    // Folded into the generalize bucket; stats.expert_seconds sums both
+    // buckets below.
+    stats.generalize.expert_seconds += retired.expert_seconds;
+  }
+  if (options_.simplify_after) {
+    SimplifyRuleSet(relation_.schema(), rules, log);
+  }
+  stats.expert_seconds =
+      stats.generalize.expert_seconds + stats.specialize.expert_seconds;
+  stats.edits = log->size() - edits_before;
+  return stats;
+}
+
+}  // namespace rudolf

@@ -1,0 +1,82 @@
+// The outer interactive loop of Section 4: generalize to capture the
+// fraudulent transactions, specialize to exclude the legitimate ones, and
+// repeat until a fixpoint (or the round limit — the expert "exits when
+// satisfied").
+
+#ifndef RUDOLF_CORE_SESSION_H_
+#define RUDOLF_CORE_SESSION_H_
+
+#include <memory>
+
+#include "core/drift.h"
+#include "core/generalize.h"
+#include "core/specialize.h"
+
+namespace rudolf {
+
+/// Configuration of a refinement session.
+struct SessionOptions {
+  GeneralizeOptions generalize;
+  SpecializeOptions specialize;
+  /// Maximum generalize+specialize rounds per session (the paper reports
+  /// ~10 modification rounds per rule-set update; each of our rounds makes
+  /// many modifications, so a small number suffices).
+  int max_rounds = 3;
+  /// Run a capture-preserving maintenance pass (duplicate/subsumed-rule
+  /// removal, fragment re-merge) after each session. Free in the cost model
+  /// — Φ(I) does not change.
+  bool simplify_after = true;
+  /// Propose retiring rules whose fraud yield dried up (core/drift.h) at
+  /// the end of each session. An extension beyond the paper's algorithms;
+  /// off by default.
+  bool retire_obsolete = false;
+  DriftOptions drift;
+};
+
+/// Aggregate outcome of a session.
+struct SessionStats {
+  int rounds = 0;
+  GeneralizeStats generalize;  ///< summed over rounds
+  SpecializeStats specialize;  ///< summed over rounds
+  double expert_seconds = 0.0;
+  size_t edits = 0;  ///< edits appended to the log by this session
+};
+
+/// \brief One refinement session over the visible prefix of a relation.
+///
+/// Owns nothing: the rule set and edit log live with the caller (the
+/// experiment runner refines the same rule set session after session as new
+/// transactions arrive).
+class RefinementSession {
+ public:
+  /// A session may be reused as transactions arrive: each Refine() call
+  /// names its own visible prefix, and the engines' expert memories
+  /// (dismissed noise clusters / tolerated inclusions) persist across
+  /// calls, as a human expert's would.
+  RefinementSession(const Relation& relation, SessionOptions options);
+
+  /// Backward-compatible constructor binding a default prefix for the
+  /// prefix-less Refine() overload.
+  RefinementSession(const Relation& relation, size_t prefix_rows,
+                    SessionOptions options);
+
+  /// Runs generalize → specialize rounds over the first `prefix_rows` rows
+  /// with the expert until neither pass changes anything or max_rounds is
+  /// hit.
+  SessionStats Refine(size_t prefix_rows, RuleSet* rules, Expert* expert,
+                      EditLog* log);
+
+  /// Refine() over the constructor's prefix.
+  SessionStats Refine(RuleSet* rules, Expert* expert, EditLog* log);
+
+ private:
+  const Relation& relation_;
+  size_t default_prefix_;
+  SessionOptions options_;
+  GeneralizationEngine generalizer_;
+  SpecializationEngine specializer_;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_CORE_SESSION_H_

@@ -1,0 +1,194 @@
+#include "core/specialize.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rudolf {
+
+SpecializationEngine::SpecializationEngine(const Relation& relation,
+                                           SpecializeOptions options)
+    : relation_(relation), options_(std::move(options)) {}
+
+std::vector<SplitProposal> SpecializationEngine::RankSplits(
+    const RuleSet& rules, const CaptureTracker& tracker, RuleId rule_id,
+    size_t row) const {
+  const Schema& schema = relation_.schema();
+  const Rule& rule = rules.Get(rule_id);
+  Tuple l = relation_.GetRow(row);
+  std::vector<SplitProposal> proposals;
+
+  for (size_t attr = 0; attr < schema.arity(); ++attr) {
+    const AttributeDef& def = schema.attribute(attr);
+    const Condition& cond = rule.condition(attr);
+    std::vector<Rule> replacements;
+
+    if (def.kind == AttrKind::kNumeric) {
+      const Interval& iv = cond.interval();
+      int64_t v = l[attr];
+      assert(iv.Contains(v));
+      // prev(l.A) / succ(l.A) over the discrete int64 domain.
+      if (iv.lo < v) {  // implies iv.lo != kNegInf ⇒ v-1 is valid… also lo=-inf ok
+        Rule r1 = rule;
+        r1.set_condition(attr, Condition::MakeNumeric({iv.lo, v - 1}));
+        replacements.push_back(std::move(r1));
+      }
+      if (iv.hi > v) {
+        Rule r2 = rule;
+        r2.set_condition(attr, Condition::MakeNumeric({v + 1, iv.hi}));
+        replacements.push_back(std::move(r2));
+      }
+      // Both sides empty (point condition) ⇒ replacements empty: the split
+      // removes the rule outright.
+    } else {
+      if (!options_.refine_categorical) continue;
+      ConceptId within = cond.concept_id();
+      ConceptId leaf = static_cast<ConceptId>(l[attr]);
+      assert(def.ontology->Contains(within, leaf));
+      std::vector<ConceptId> cover = def.ontology->GreedyLeafCover(within, leaf);
+      // cover empty while the condition has other leaves means they are
+      // unreachable without including l.A — then splitting on this
+      // attribute only works by removing the rule when l.A is the sole leaf.
+      if (cover.empty() && def.ontology->LeafCount(within) > 1) continue;
+      for (ConceptId c : cover) {
+        Rule rc = rule;
+        rc.set_condition(attr, Condition::MakeCategorical(c));
+        replacements.push_back(std::move(rc));
+      }
+    }
+
+    SplitProposal p;
+    p.rule_id = rule_id;
+    p.original = rule;
+    p.attribute = attr;
+    p.excluded = l;
+    p.excluded_row = row;
+    std::vector<Bitset> captures;
+    captures.reserve(replacements.size());
+    for (const Rule& r : replacements) captures.push_back(tracker.Eval(r));
+    p.delta = tracker.DeltaForReplaceMany(rule_id, captures);
+    p.benefit = options_.cost_model.Benefit(p.delta);
+    p.replacement_counts.reserve(captures.size());
+    for (const Bitset& capture : captures) {
+      p.replacement_counts.push_back(tracker.evaluator().CountsVisible(capture));
+    }
+    p.replacements = std::move(replacements);
+    proposals.push_back(std::move(p));
+  }
+
+  std::sort(proposals.begin(), proposals.end(),
+            [](const SplitProposal& a, const SplitProposal& b) {
+              return a.benefit > b.benefit ||
+                     (a.benefit == b.benefit && a.attribute < b.attribute);
+            });
+  return proposals;
+}
+
+void SpecializationEngine::ApplySplit(RuleSet* rules, CaptureTracker* tracker,
+                                      EditLog* log, RuleId rule_id, size_t attribute,
+                                      const std::vector<Rule>& replacements,
+                                      EditSource source, SpecializeStats* stats) {
+  const Schema& schema = relation_.schema();
+  rules->RemoveRule(rule_id);
+  tracker->ApplyRemove(rule_id);
+  for (const Rule& r : replacements) {
+    RuleId id = rules->AddRule(r);
+    tracker->ApplyAdd(id, tracker->Eval(r));
+  }
+  Edit edit;
+  edit.rule = rule_id;
+  edit.attribute = attribute;
+  edit.source = source;
+  if (replacements.empty()) {
+    edit.kind = EditKind::kRemoveRule;
+    edit.cost = options_.cost_model.operations().remove_rule;
+    edit.note = "remove rule (no remaining values)";
+    ++stats->rules_removed;
+  } else if (replacements.size() == 1) {
+    // A one-sided "split" is really a condition narrowing: the rule is
+    // replaced by a single tighter version of itself.
+    edit.kind = EditKind::kModifyCondition;
+    edit.cost = options_.cost_model.operations().modify_condition;
+    edit.note = "narrow " + schema.attribute(attribute).name;
+    ++stats->splits_applied;
+  } else {
+    edit.kind = EditKind::kSplitRule;
+    edit.cost = options_.cost_model.operations().split_rule;
+    edit.note = "split on " + schema.attribute(attribute).name;
+    ++stats->splits_applied;
+  }
+  log->Record(std::move(edit));
+}
+
+SpecializeStats SpecializationEngine::Run(RuleSet* rules, CaptureTracker* tracker,
+                                          Expert* expert, EditLog* log) {
+  SpecializeStats stats;
+
+  // Captured, visibly legitimate rows of the prefix (snapshot; coverage may
+  // change as rules are split, so each is re-checked when reached).
+  const size_t prefix = tracker->prefix_rows();
+  std::vector<size_t> legit_rows;
+  for (size_t r = 0; r < prefix; ++r) {
+    if (relation_.VisibleLabel(r) == Label::kLegitimate && tracker->IsCovered(r) &&
+        dismissed_rows_.count(r) == 0) {
+      legit_rows.push_back(r);
+    }
+  }
+  if (legit_rows.size() > options_.max_legit_tuples) {
+    legit_rows.resize(options_.max_legit_tuples);
+  }
+
+  for (size_t row : legit_rows) {
+    if (!tracker->IsCovered(row)) continue;  // already excluded along the way
+    ++stats.tuples;
+    // Ω_l: the rules capturing l.
+    std::vector<RuleId> capturing;
+    for (RuleId id : rules->LiveIds()) {
+      if (tracker->RuleCapture(id).Test(row)) capturing.push_back(id);
+    }
+    bool any_rejected_entirely = false;
+    for (RuleId rule_id : capturing) {
+      if (!rules->IsLive(rule_id)) continue;
+      if (!tracker->RuleCapture(rule_id).Test(row)) continue;
+      std::vector<SplitProposal> proposals =
+          RankSplits(*rules, *tracker, rule_id, row);
+      bool applied = false;
+      size_t shown = 0;
+      for (SplitProposal& p : proposals) {
+        if (shown >= options_.max_proposals_per_rule) break;
+        ++shown;
+        ++stats.proposals;
+        SplitReview review = expert->ReviewSplit(p, relation_);
+        stats.expert_seconds += review.seconds;
+        switch (review.action) {
+          case SplitReview::Action::kAccept:
+            ApplySplit(rules, tracker, log, rule_id, p.attribute, p.replacements,
+                       EditSource::kSystem, &stats);
+            ++stats.accepted;
+            applied = true;
+            break;
+          case SplitReview::Action::kAcceptRevised:
+            ApplySplit(rules, tracker, log, rule_id, p.attribute, review.revised,
+                       EditSource::kExpert, &stats);
+            ++stats.revised;
+            applied = true;
+            break;
+          case SplitReview::Action::kReject:
+            ++stats.rejected;
+            break;
+        }
+        if (applied) break;
+      }
+      if (!applied) any_rejected_entirely = true;
+    }
+    if (tracker->IsCovered(row) && any_rejected_entirely) {
+      // The expert declined every split (e.g. knows the report is wrong, or
+      // tolerates the inclusion); the tuple stays captured and is not
+      // brought up again this session.
+      ++stats.skipped_tuples;
+      dismissed_rows_.insert(row);
+    }
+  }
+  return stats;
+}
+
+}  // namespace rudolf

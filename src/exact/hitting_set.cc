@@ -1,0 +1,123 @@
+#include "exact/hitting_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rudolf {
+
+bool IsHittingSet(const HittingSetInstance& instance,
+                  const std::vector<size_t>& candidate) {
+  std::vector<char> chosen(instance.universe_size, 0);
+  for (size_t e : candidate) {
+    assert(e < instance.universe_size);
+    chosen[e] = 1;
+  }
+  for (const auto& s : instance.sets) {
+    bool hit = false;
+    for (size_t e : s) {
+      if (chosen[e]) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) return false;
+  }
+  return true;
+}
+
+std::vector<size_t> GreedyHittingSet(const HittingSetInstance& instance) {
+  std::vector<size_t> result;
+  std::vector<char> hit(instance.sets.size(), 0);
+  size_t remaining = instance.sets.size();
+  while (remaining > 0) {
+    // Count how many unhit sets each element would hit.
+    std::vector<size_t> gain(instance.universe_size, 0);
+    for (size_t i = 0; i < instance.sets.size(); ++i) {
+      if (hit[i]) continue;
+      for (size_t e : instance.sets[i]) ++gain[e];
+    }
+    size_t best = 0;
+    for (size_t e = 1; e < instance.universe_size; ++e) {
+      if (gain[e] > gain[best]) best = e;
+    }
+    if (gain[best] == 0) break;  // an empty set is unhittable
+    result.push_back(best);
+    for (size_t i = 0; i < instance.sets.size(); ++i) {
+      if (hit[i]) continue;
+      for (size_t e : instance.sets[i]) {
+        if (e == best) {
+          hit[i] = 1;
+          --remaining;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+struct BnBState {
+  const HittingSetInstance* instance;
+  std::vector<size_t> best;
+  std::vector<char> chosen;
+};
+
+void Branch(BnBState* state, std::vector<size_t>* current) {
+  if (current->size() + 1 >= state->best.size() && !state->best.empty()) {
+    // Even one more element cannot beat the incumbent unless it finishes
+    // the cover right here; handled below by the unhit-set scan.
+  }
+  // Find the first unhit set.
+  const HittingSetInstance& inst = *state->instance;
+  const std::vector<size_t>* unhit = nullptr;
+  for (const auto& s : inst.sets) {
+    bool hit = false;
+    for (size_t e : s) {
+      if (state->chosen[e]) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) {
+      unhit = &s;
+      break;
+    }
+  }
+  if (unhit == nullptr) {
+    if (state->best.empty() || current->size() < state->best.size()) {
+      state->best = *current;
+    }
+    return;
+  }
+  if (!state->best.empty() && current->size() + 1 >= state->best.size()) {
+    return;  // bound: must add at least one more element
+  }
+  for (size_t e : *unhit) {
+    state->chosen[e] = 1;
+    current->push_back(e);
+    Branch(state, current);
+    current->pop_back();
+    state->chosen[e] = 0;
+  }
+}
+
+}  // namespace
+
+std::vector<size_t> MinimumHittingSet(const HittingSetInstance& instance) {
+  BnBState state;
+  state.instance = &instance;
+  state.best = GreedyHittingSet(instance);
+  if (!IsHittingSet(instance, state.best)) {
+    // Unhittable (contains an empty set); return the greedy best effort.
+    return state.best;
+  }
+  state.chosen.assign(instance.universe_size, 0);
+  std::vector<size_t> current;
+  Branch(&state, &current);
+  std::sort(state.best.begin(), state.best.end());
+  return state.best;
+}
+
+}  // namespace rudolf

@@ -1,0 +1,40 @@
+// Exact minimum hitting set via branch and bound. The NP-hardness proofs of
+// Theorems 4.1/4.5 reduce from this problem; the test suite replays the
+// paper's reduction instances and validates the heuristic engines against
+// optimal solutions computed here. Exponential in the worst case — intended
+// for the small instances of the constructions.
+
+#ifndef RUDOLF_EXACT_HITTING_SET_H_
+#define RUDOLF_EXACT_HITTING_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rudolf {
+
+/// A hitting-set instance: sets of element indices over universe
+/// {0, ..., universe_size-1}.
+struct HittingSetInstance {
+  size_t universe_size = 0;
+  std::vector<std::vector<size_t>> sets;
+};
+
+/// \brief Exact minimum hitting set (branch and bound on the first unhit
+/// set, with a greedy upper bound). Returns element indices, empty when
+/// `sets` is empty. Instances containing an empty set have no hitting set;
+/// returns all elements as a sentinel-free "best effort" never chosen —
+/// callers should not pass empty sets.
+std::vector<size_t> MinimumHittingSet(const HittingSetInstance& instance);
+
+/// Greedy approximation: repeatedly picks the element hitting the most
+/// unhit sets.
+std::vector<size_t> GreedyHittingSet(const HittingSetInstance& instance);
+
+/// True if `candidate` hits every set.
+bool IsHittingSet(const HittingSetInstance& instance,
+                  const std::vector<size_t>& candidate);
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_EXACT_HITTING_SET_H_

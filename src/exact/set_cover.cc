@@ -1,0 +1,105 @@
+#include "exact/set_cover.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rudolf {
+
+bool IsSetCover(const SetCoverInstance& instance,
+                const std::vector<size_t>& chosen) {
+  std::vector<char> covered(instance.universe_size, 0);
+  for (size_t s : chosen) {
+    assert(s < instance.subsets.size());
+    for (size_t e : instance.subsets[s]) covered[e] = 1;
+  }
+  for (char c : covered) {
+    if (!c) return false;
+  }
+  return true;
+}
+
+std::vector<size_t> GreedySetCover(const SetCoverInstance& instance) {
+  std::vector<size_t> result;
+  std::vector<char> covered(instance.universe_size, 0);
+  size_t remaining = instance.universe_size;
+  while (remaining > 0) {
+    size_t best = instance.subsets.size();
+    size_t best_gain = 0;
+    for (size_t s = 0; s < instance.subsets.size(); ++s) {
+      size_t gain = 0;
+      for (size_t e : instance.subsets[s]) gain += covered[e] ? 0 : 1;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = s;
+      }
+    }
+    if (best == instance.subsets.size()) break;  // uncoverable
+    result.push_back(best);
+    for (size_t e : instance.subsets[best]) {
+      if (!covered[e]) {
+        covered[e] = 1;
+        --remaining;
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+struct BnBState {
+  const SetCoverInstance* instance;
+  std::vector<size_t> best;
+  std::vector<int> cover_count;  // per element
+};
+
+void Branch(BnBState* state, std::vector<size_t>* current) {
+  const SetCoverInstance& inst = *state->instance;
+  // First uncovered element.
+  size_t uncovered = inst.universe_size;
+  for (size_t e = 0; e < inst.universe_size; ++e) {
+    if (state->cover_count[e] == 0) {
+      uncovered = e;
+      break;
+    }
+  }
+  if (uncovered == inst.universe_size) {
+    if (state->best.empty() || current->size() < state->best.size()) {
+      state->best = *current;
+    }
+    return;
+  }
+  if (!state->best.empty() && current->size() + 1 >= state->best.size()) return;
+  // Branch on every subset containing the uncovered element.
+  for (size_t s = 0; s < inst.subsets.size(); ++s) {
+    bool contains = false;
+    for (size_t e : inst.subsets[s]) {
+      if (e == uncovered) {
+        contains = true;
+        break;
+      }
+    }
+    if (!contains) continue;
+    for (size_t e : inst.subsets[s]) ++state->cover_count[e];
+    current->push_back(s);
+    Branch(state, current);
+    current->pop_back();
+    for (size_t e : inst.subsets[s]) --state->cover_count[e];
+  }
+}
+
+}  // namespace
+
+std::vector<size_t> MinimumSetCover(const SetCoverInstance& instance) {
+  BnBState state;
+  state.instance = &instance;
+  state.best = GreedySetCover(instance);
+  if (!IsSetCover(instance, state.best)) return state.best;
+  state.cover_count.assign(instance.universe_size, 0);
+  std::vector<size_t> current;
+  Branch(&state, &current);
+  std::sort(state.best.begin(), state.best.end());
+  return state.best;
+}
+
+}  // namespace rudolf

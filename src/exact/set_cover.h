@@ -1,0 +1,35 @@
+// Exact and greedy set cover. Theorems 4.3/4.6 reduce from set cover, and
+// the categorical split of Algorithm 2 *is* a set cover over ontology
+// leaves; tests compare Ontology::GreedyLeafCover against the exact optimum
+// computed here.
+
+#ifndef RUDOLF_EXACT_SET_COVER_H_
+#define RUDOLF_EXACT_SET_COVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rudolf {
+
+/// A set-cover instance: candidate subsets of {0, ..., universe_size-1};
+/// the goal is to cover every element with as few subsets as possible.
+struct SetCoverInstance {
+  size_t universe_size = 0;
+  std::vector<std::vector<size_t>> subsets;
+};
+
+/// \brief Exact minimum set cover (branch and bound on the first uncovered
+/// element). Returns subset indices; empty when the universe is empty.
+/// If the instance is uncoverable, returns the greedy best effort.
+std::vector<size_t> MinimumSetCover(const SetCoverInstance& instance);
+
+/// Classic greedy (largest uncovered gain first).
+std::vector<size_t> GreedySetCover(const SetCoverInstance& instance);
+
+/// True if the chosen subsets cover the universe.
+bool IsSetCover(const SetCoverInstance& instance, const std::vector<size_t>& chosen);
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_EXACT_SET_COVER_H_

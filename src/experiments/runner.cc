@@ -1,0 +1,148 @@
+#include "experiments/runner.h"
+
+#include <algorithm>
+
+#include "expert/manual_expert.h"
+#include "expert/oracle_expert.h"
+
+namespace rudolf {
+
+ExperimentRunner::ExperimentRunner(Dataset* dataset, RunnerOptions options)
+    : dataset_(dataset), options_(std::move(options)) {}
+
+size_t ExperimentRunner::PrefixAtRound(int k) const {
+  size_t n = dataset_->relation->NumRows();
+  double frac = options_.initial_frac + options_.hop_frac * k;
+  frac = std::min(frac, 1.0);
+  return static_cast<size_t>(frac * static_cast<double>(n));
+}
+
+void ExperimentRunner::ResetAndRevealInitial() {
+  Relation* relation = dataset_->relation.get();
+  for (size_t r = 0; r < relation->NumRows(); ++r) {
+    relation->SetVisibleLabel(r, Label::kUnlabeled);
+  }
+  Rng rng(options_.seed);
+  RevealLabels(relation, 0, PrefixAtRound(0), dataset_->options.label_coverage,
+               dataset_->options.mislabel_fraction,
+               dataset_->options.false_fraud_fraction, &rng);
+}
+
+RunResult ExperimentRunner::Run(Method method) {
+  RunResult result;
+  result.method = method;
+  result.method_name = MethodName(method);
+
+  ResetAndRevealInitial();
+  Relation* relation = dataset_->relation.get();
+  size_t n = relation->NumRows();
+
+  // Per-method initial rules.
+  RuleSet rules;
+  if (method != Method::kThresholdMl) {
+    rules = SynthesizeInitialRules(*dataset_, options_.initial_rules);
+  }
+
+  // Per-method long-lived actors.
+  std::unique_ptr<OracleExpert> oracle;
+  std::unique_ptr<AutoAcceptExpert> auto_accept;
+  std::unique_ptr<ManualExpert> manual;
+  std::unique_ptr<ThresholdBaseline> threshold;
+  std::unique_ptr<RefinementSession> session;
+  SessionOptions session_options = options_.session;
+  switch (method) {
+    case Method::kRudolf:
+      oracle = MakeDomainExpert(*dataset_, options_.seed);
+      break;
+    case Method::kRudolfNovice:
+      oracle = MakeNoviceExpert(*dataset_, options_.seed);
+      break;
+    case Method::kRudolfMinus:
+      auto_accept = std::make_unique<AutoAcceptExpert>();
+      break;
+    case Method::kRudolfNoOntology:
+      oracle = MakeDomainExpert(*dataset_, options_.seed);
+      session_options.generalize.refine_categorical = false;
+      session_options.specialize.refine_categorical = false;
+      break;
+    case Method::kManual: {
+      ManualExpertOptions manual_options = options_.manual;
+      manual_options.seed ^= options_.seed;
+      manual = std::make_unique<ManualExpert>(*dataset_, manual_options);
+      break;
+    }
+    case Method::kThresholdMl:
+      threshold = std::make_unique<ThresholdBaseline>(*dataset_);
+      break;
+    case Method::kNoChange:
+      break;
+  }
+
+  // One long-lived session per run so the expert's memories persist
+  // across refinement rounds.
+  switch (method) {
+    case Method::kRudolf:
+    case Method::kRudolfNovice:
+    case Method::kRudolfNoOntology:
+    case Method::kRudolfMinus:
+      session = std::make_unique<RefinementSession>(*relation, session_options);
+      break;
+    default:
+      break;
+  }
+
+  // Reveal rng continues deterministically across hops.
+  Rng reveal_rng(options_.seed ^ 0xA11CEULL);
+  double total_seconds = 0.0;
+
+  for (int round = 1; round <= options_.rounds; ++round) {
+    size_t prev_prefix = PrefixAtRound(round - 1);
+    size_t prefix = PrefixAtRound(round);
+    RevealLabels(relation, prev_prefix, prefix, dataset_->options.label_coverage,
+                 dataset_->options.mislabel_fraction,
+                 dataset_->options.false_fraud_fraction, &reveal_rng);
+
+    double round_seconds = 0.0;
+    switch (method) {
+      case Method::kRudolf:
+      case Method::kRudolfNovice:
+      case Method::kRudolfNoOntology:
+      case Method::kRudolfMinus: {
+        Expert* expert =
+            oracle != nullptr ? static_cast<Expert*>(oracle.get())
+                              : static_cast<Expert*>(auto_accept.get());
+        SessionStats stats = session->Refine(prefix, &rules, expert, &result.log);
+        round_seconds = stats.expert_seconds;
+        break;
+      }
+      case Method::kManual: {
+        ManualRoundStats stats = manual->RunRound(&rules, prefix, &result.log);
+        round_seconds = stats.seconds;
+        break;
+      }
+      case Method::kThresholdMl:
+        threshold->RefineRound(&rules, prefix, &result.log);
+        round_seconds = 0.0;
+        break;
+      case Method::kNoChange:
+        break;
+    }
+    total_seconds += round_seconds;
+
+    RoundRecord record;
+    record.round = round;
+    record.prefix = prefix;
+    record.cumulative_edits = result.log.size();
+    record.cumulative_updates = result.log.NumUpdates();
+    record.rules = rules.size();
+    record.round_seconds = round_seconds;
+    record.total_seconds = total_seconds;
+    record.future = EvaluateOnRange(*relation, rules, prefix, n);
+    result.rounds.push_back(record);
+  }
+
+  result.final_rules = rules;
+  return result;
+}
+
+}  // namespace rudolf

@@ -1,0 +1,25 @@
+#include "expert/expert.h"
+
+namespace rudolf {
+
+GeneralizationReview AutoAcceptExpert::ReviewGeneralization(
+    const GeneralizationProposal& proposal, const Relation& relation) {
+  (void)proposal;
+  (void)relation;
+  GeneralizationReview review;
+  review.action = GeneralizationReview::Action::kAccept;
+  review.seconds = 0.0;
+  return review;
+}
+
+SplitReview AutoAcceptExpert::ReviewSplit(const SplitProposal& proposal,
+                                          const Relation& relation) {
+  (void)proposal;
+  (void)relation;
+  SplitReview review;
+  review.action = SplitReview::Action::kAccept;
+  review.seconds = 0.0;
+  return review;
+}
+
+}  // namespace rudolf

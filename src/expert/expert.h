@@ -1,0 +1,92 @@
+// The domain-expert interface: the human in RUDOLF's loop. Algorithms 1/2
+// hand every proposal to an Expert, which can accept it, accept it with its
+// own changes (revert some attribute modifications, or make *further*
+// generalizations such as Elena's rounding of $106 down to $100), or reject
+// it so the engine tries the next candidate.
+//
+// The library ships simulated experts (oracle / noisy / novice / auto-accept)
+// for the experiments, and examples show a REPL-backed human expert built on
+// the same interface.
+
+#ifndef RUDOLF_EXPERT_EXPERT_H_
+#define RUDOLF_EXPERT_EXPERT_H_
+
+#include <string>
+
+#include "core/proposal.h"
+#include "relation/relation.h"
+
+namespace rudolf {
+
+/// Expert verdict on a generalization proposal.
+struct GeneralizationReview {
+  enum class Action {
+    kAccept,         ///< apply `proposed` as-is
+    kAcceptRevised,  ///< apply `revised` instead (expert's adjustments)
+    kReject,         ///< try the next candidate rule
+    kRejectCluster,  ///< "this is not a real attack" — stop proposing rules
+                     ///< for this representative altogether
+  };
+  Action action = Action::kAccept;
+  Rule revised;          ///< used when action == kAcceptRevised
+  double seconds = 0.0;  ///< time the review cost the expert
+};
+
+/// Expert verdict on a split proposal.
+struct SplitReview {
+  enum class Action {
+    kAccept,         ///< apply `replacements` as proposed
+    kAcceptRevised,  ///< apply `revised` instead (pruned / edited rules)
+    kReject,         ///< try splitting on another attribute
+  };
+  Action action = Action::kAccept;
+  std::vector<Rule> revised;  ///< used when action == kAcceptRevised
+  double seconds = 0.0;
+};
+
+/// Expert verdict on retiring an obsolete rule (drift housekeeping).
+struct RetirementReview {
+  bool retire = true;
+  double seconds = 0.0;
+};
+
+/// \brief Interface the refinement engines interact with.
+class Expert {
+ public:
+  virtual ~Expert() = default;
+
+  /// Reviews a proposed generalization (Algorithm 1, lines 10–16).
+  virtual GeneralizationReview ReviewGeneralization(
+      const GeneralizationProposal& proposal, const Relation& relation) = 0;
+
+  /// Reviews a proposed split (Algorithm 2, lines 10–13).
+  virtual SplitReview ReviewSplit(const SplitProposal& proposal,
+                                  const Relation& relation) = 0;
+
+  /// Reviews retiring a rule whose fraud yield dried up (core/drift.h).
+  /// Default: trust the detector's evidence.
+  virtual RetirementReview ReviewRetirement(const Rule& rule,
+                                            const Relation& relation) {
+    (void)rule;
+    (void)relation;
+    return RetirementReview{};
+  }
+
+  /// Display name for logs and reports.
+  virtual std::string name() const = 0;
+};
+
+/// \brief RUDOLF⁻: accepts every proposal unreviewed (Section 5's
+/// fully-automatic variant of RUDOLF). Costs zero expert time.
+class AutoAcceptExpert : public Expert {
+ public:
+  GeneralizationReview ReviewGeneralization(const GeneralizationProposal& proposal,
+                                            const Relation& relation) override;
+  SplitReview ReviewSplit(const SplitProposal& proposal,
+                          const Relation& relation) override;
+  std::string name() const override { return "rudolf-minus"; }
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_EXPERT_EXPERT_H_

@@ -1,0 +1,98 @@
+// The fully-manual baseline of Section 5: experts refine the rules entirely
+// by hand, one reported transaction at a time, without system proposals.
+// The paper calls this its "toughest competitor" — the simulated manual
+// expert here has the same pattern knowledge as the oracle, but pays the
+// full per-transaction inspection cost (a well-trained expert fixes 30–40
+// transactions per workday) and edits at transaction granularity, so it
+// accumulates more rule modifications than RUDOLF's cluster-level proposals.
+
+#ifndef RUDOLF_EXPERT_MANUAL_EXPERT_H_
+#define RUDOLF_EXPERT_MANUAL_EXPERT_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "expert/time_model.h"
+#include "rules/edit.h"
+#include "rules/rule_set.h"
+#include "workload/generator.h"
+
+namespace rudolf {
+
+/// Knobs of the manual baseline.
+struct ManualExpertOptions {
+  /// Fix capacity per refinement round. The default corresponds to a
+  /// couple of workdays between rounds (the paper's manual experts were
+  /// "not limited by any time constraint"; 30–40 fixes fit in one day).
+  size_t max_fixes_per_round = 80;
+  /// Probability of not recognizing an attack pattern. Higher than the
+  /// RUDOLF-assisted expert's lapse rates: without the system's cluster
+  /// representatives the expert reads raw transaction lists (the paper's
+  /// users reported the proposals "helped them identify and focus on the
+  /// problematic rules").
+  double recognition_error = 0.18;
+  /// When true (default), the recognition draw is made once per pattern and
+  /// remembered: an expert who does not see the scheme fails on all of its
+  /// transactions, not independently per row.
+  bool per_pattern_recognition = true;
+  TimeModelOptions time;
+  double time_factor = 1.0;
+  uint64_t seed = 4321;
+};
+
+/// Per-round outcome of the manual baseline.
+struct ManualRoundStats {
+  size_t fraud_examined = 0;
+  size_t legit_examined = 0;
+  size_t fixes = 0;            ///< transactions actually acted upon
+  size_t skipped = 0;          ///< recognized as noise / already handled
+  size_t capacity_exhausted = 0;  ///< problematic tuples left unexamined
+  double seconds = 0.0;
+};
+
+/// \brief Simulated hand-refinement of a rule set.
+class ManualExpert {
+ public:
+  /// `dataset` must outlive the expert.
+  ManualExpert(const Dataset& dataset, ManualExpertOptions options);
+
+  /// One manual round over the first `prefix_rows` rows: walks uncaptured
+  /// reported frauds and captured reported legits (up to capacity), editing
+  /// `rules` directly and logging every edit.
+  ManualRoundStats RunRound(RuleSet* rules, size_t prefix_rows, EditLog* log);
+
+  double total_seconds() const { return total_seconds_; }
+
+ private:
+  // The pattern this tuple belongs to, if the expert recognizes one.
+  const AttackPattern* RecognizePattern(const Tuple& tuple);
+
+  // The expert's current mental model of a recognized scheme: the hull of
+  // the transactions inspected so far, with human rounding (widened time
+  // window, amount floor rounded down, open-ended amounts, no score
+  // condition). Grows as more instances are inspected — which is why the
+  // manual workflow keeps re-touching the same rules round after round.
+  Rule WorkingRuleFor(const AttackPattern* pattern);
+
+  // Ensures a rule equivalent to `target` exists: updates the closest
+  // existing rule of the same attack or adds a new one.
+  void UpsertPatternRule(RuleSet* rules, const Rule& target, EditLog* log);
+
+  const Dataset& dataset_;
+  ManualExpertOptions options_;
+  TimeModel time_model_;
+  Rng rng_;
+  double total_seconds_ = 0.0;
+  // Rows already inspected in earlier rounds; the expert remembers their
+  // verdict and does not spend workday capacity on them again.
+  std::unordered_set<size_t> inspected_;
+  // Rows inspected per recognized pattern (feeds WorkingRuleFor's hull).
+  std::unordered_map<const AttackPattern*, std::vector<size_t>> seen_;
+  // Per-pattern recognition verdicts (per_pattern_recognition mode).
+  std::unordered_map<const AttackPattern*, bool> recognizes_;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_EXPERT_MANUAL_EXPERT_H_

@@ -1,0 +1,309 @@
+#include "expert/oracle_expert.h"
+
+namespace rudolf {
+
+OracleExpert::OracleExpert(std::shared_ptr<const Schema> schema,
+                           std::vector<KnownScheme> schemes, OracleOptions options,
+                           std::string display_name)
+    : schema_(std::move(schema)),
+      schemes_(std::move(schemes)),
+      options_(options),
+      name_(std::move(display_name)),
+      time_model_(options.time, options.seed ^ 0x5EEDULL),
+      rng_(options.seed) {}
+
+namespace {
+
+std::vector<KnownScheme> SchemesFromDataset(const Dataset& dataset) {
+  std::vector<KnownScheme> out;
+  out.reserve(dataset.patterns.size());
+  for (const AttackPattern& p : dataset.patterns) {
+    out.push_back(KnownScheme{p.ToRule(dataset.cc), p.end_frac >= 1.0});
+  }
+  return out;
+}
+
+}  // namespace
+
+OracleExpert::OracleExpert(const Dataset& dataset, OracleOptions options,
+                           std::string display_name)
+    : OracleExpert(dataset.cc.schema, SchemesFromDataset(dataset), options,
+                   std::move(display_name)) {}
+
+const KnownScheme* OracleExpert::SchemeFor(const Rule& representative) const {
+  // First pass: full containment — the cluster sits inside one scheme.
+  const KnownScheme* best = nullptr;
+  size_t best_specificity = 0;
+  for (const KnownScheme& scheme : schemes_) {
+    if (!scheme.rule.ContainsRule(*schema_, representative)) continue;
+    size_t specificity = scheme.rule.NumNonTrivial(*schema_);
+    if (best == nullptr || specificity > best_specificity) {
+      best = &scheme;
+      best_specificity = specificity;
+    }
+  }
+  if (best != nullptr) return best;
+  // Relaxed pass: ignore attributes the representative does not constrain.
+  // This is how the expert still recognizes a scheme when the system could
+  // not form a categorical hull (RUDOLF -s degrades those conditions to ⊤).
+  for (const KnownScheme& scheme : schemes_) {
+    bool match = true;
+    for (size_t a = 0; a < schema_->arity() && match; ++a) {
+      const AttributeDef& def = schema_->attribute(a);
+      if (representative.condition(a).IsTrivial(def)) continue;
+      if (!scheme.rule.condition(a).ContainsCondition(def,
+                                                      representative.condition(a))) {
+        match = false;
+      }
+    }
+    if (!match) continue;
+    size_t specificity = scheme.rule.NumNonTrivial(*schema_);
+    if (best == nullptr || specificity > best_specificity) {
+      best = &scheme;
+      best_specificity = specificity;
+    }
+  }
+  return best;
+}
+
+GeneralizationReview OracleExpert::ReviewGeneralization(
+    const GeneralizationProposal& proposal, const Relation& relation) {
+  (void)relation;
+  GeneralizationReview review;
+  review.seconds = options_.time_factor * time_model_.ReviewGeneralizationSeconds();
+  total_seconds_ += review.seconds;
+
+  const KnownScheme* scheme = SchemeFor(proposal.representative);
+  if (scheme == nullptr && !proposal.cluster_rows.empty()) {
+    // The hull matches no scheme, but the expert reads the transactions: at
+    // scale almost every cluster contains a stray mislabeled report that
+    // poisons the hull. If a clear majority of the rows belongs to one
+    // scheme, adopt that scheme's signature outright and leave the strays
+    // uncovered.
+    const KnownScheme* majority = nullptr;
+    size_t majority_count = 0;
+    for (const KnownScheme& candidate : schemes_) {
+      size_t count = 0;
+      for (size_t row : proposal.cluster_rows) {
+        if (candidate.rule.MatchesRow(relation, row)) ++count;
+      }
+      if (count > majority_count) {
+        majority_count = count;
+        majority = &candidate;
+      }
+    }
+    if (majority != nullptr &&
+        majority_count * 10 >= proposal.cluster_rows.size() * 7) {
+      Rule adopted = majority->rule;
+      if (!proposal.categorical_refinement) {
+        // RUDOLF -s cannot hold categorical refinements; keep whatever the
+        // representative could express there.
+        for (size_t a = 0; a < schema_->arity(); ++a) {
+          if (schema_->attribute(a).kind == AttrKind::kCategorical) {
+            adopted.set_condition(a, proposal.representative.condition(a));
+          }
+        }
+      }
+      if (!proposal.IsNewRule() && proposal.original == adopted) {
+        // The scheme's signature is already installed; the strays that
+        // poisoned this hull are not worth a rule.
+        review.action = GeneralizationReview::Action::kRejectCluster;
+      } else if (proposal.IsNewRule() ||
+                 adopted.ContainsRule(*schema_, proposal.original)) {
+        review.action = GeneralizationReview::Action::kAcceptRevised;
+        review.revised = std::move(adopted);
+      } else {
+        // The candidate rule belongs to a different scheme; ask for the
+        // next candidate (ultimately the new-rule offer).
+        review.action = GeneralizationReview::Action::kReject;
+      }
+      return review;
+    }
+  }
+  if (scheme == nullptr) {
+    // The cluster matches no ongoing scheme: mislabeled noise. Its
+    // representative hull looks nothing like a scheme, so even a lapsing
+    // expert dismisses it — and dismisses the whole cluster, not just this
+    // candidate (the key human advantage over RUDOLF⁻). Recognition errors
+    // occasionally let a noise cluster through as proposed.
+    review.action = rng_.Bernoulli(options_.recognition_error)
+                        ? GeneralizationReview::Action::kAccept
+                        : GeneralizationReview::Action::kRejectCluster;
+    return review;
+  }
+  // Lapses on plausible proposals: wave through without real review.
+  if (rng_.Bernoulli(options_.blind_accept_prob)) {
+    review.action = GeneralizationReview::Action::kAccept;
+    return review;
+  }
+  if (rng_.Bernoulli(options_.wrong_reject_prob)) {
+    review.action = GeneralizationReview::Action::kReject;
+    return review;
+  }
+
+  const Rule& true_rule = scheme->rule;
+  if (!proposal.IsNewRule() && !true_rule.ContainsRule(*schema_, proposal.original)) {
+    // Generalizing a rule that belongs to a *different* scheme would merge
+    // unrelated schemes into one blurry rule; the expert asks for another
+    // candidate instead.
+    review.action = GeneralizationReview::Action::kReject;
+    return review;
+  }
+
+  // Accept, rewriting the conditions toward the scheme's true signature —
+  // the paper's "further generalizations" (Elena rounding $106 down to
+  // $100 because she knows the attack's real threshold). Attributes the
+  // representative constrains beyond the signature keep their hull (in
+  // RUDOLF -s the system cannot hold a categorical refinement, so the
+  // revision must not smuggle one in).
+  Rule revised = proposal.representative;
+  for (size_t a = 0; a < schema_->arity(); ++a) {
+    if (!proposal.categorical_refinement &&
+        schema_->attribute(a).kind == AttrKind::kCategorical) {
+      continue;  // the system cannot hold a categorical refinement
+    }
+    if (true_rule.condition(a).ContainsCondition(
+            schema_->attribute(a), proposal.representative.condition(a))) {
+      revised.set_condition(a, true_rule.condition(a));
+    }
+  }
+  if (revised == proposal.proposed) {
+    review.action = GeneralizationReview::Action::kAccept;
+  } else {
+    review.action = GeneralizationReview::Action::kAcceptRevised;
+    review.revised = std::move(revised);
+  }
+  return review;
+}
+
+SplitReview OracleExpert::ReviewSplit(const SplitProposal& proposal,
+                                      const Relation& relation) {
+  SplitReview review;
+  review.seconds = options_.time_factor * time_model_.ReviewSplitSeconds();
+  total_seconds_ += review.seconds;
+
+  if (rng_.Bernoulli(options_.blind_accept_prob)) {
+    review.action = SplitReview::Action::kAccept;
+    return review;
+  }
+  // The expert verifies the report: if the "legitimate" transaction is in
+  // fact fraudulent (reporting noise), excluding it would be wrong.
+  if (relation.TrueLabel(proposal.excluded_row) == Label::kFraud &&
+      !rng_.Bernoulli(options_.recognition_error)) {
+    review.action = SplitReview::Action::kReject;
+    return review;
+  }
+  if (rng_.Bernoulli(options_.wrong_reject_prob)) {
+    review.action = SplitReview::Action::kReject;
+    return review;
+  }
+  // Tolerable inclusion: fragmenting a rule the expert knows to be a
+  // scheme's exact signature to dodge a couple of stray reports is churn,
+  // not improvement.
+  if (proposal.delta.legit + proposal.delta.unlabeled <=
+      options_.split_tolerance) {
+    for (const KnownScheme& scheme : schemes_) {
+      if (proposal.original == scheme.rule) {
+        review.action = SplitReview::Action::kReject;
+        return review;
+      }
+    }
+  }
+  // Seeing the rule in front of them, the expert may repair it outright
+  // (Algorithm 2 line 13, "further modifications to the proposed rules")
+  // rather than shave one value off a malformed rule:
+  bool inside_some_scheme = proposal.original.arity() != schema_->arity();
+  for (const KnownScheme& scheme : schemes_) {
+    if (inside_some_scheme) break;
+    if (scheme.rule.ContainsRule(*schema_, proposal.original)) {
+      inside_some_scheme = true;
+    }
+  }
+  if (!inside_some_scheme && !proposal.replacement_counts.empty()) {
+    //  * an over-widened rule that swallowed a whole scheme signature is
+    //    retightened to that signature in one stroke;
+    for (const KnownScheme& scheme : schemes_) {
+      if (proposal.original.ContainsRule(*schema_, scheme.rule)) {
+        review.action = SplitReview::Action::kAcceptRevised;
+        review.revised = {scheme.rule};
+        return review;
+      }
+    }
+    //  * a rule matching no scheme and capturing almost no reported fraud
+    //    is junk — delete it instead of fragmenting it.
+    size_t captured_fraud = 0;
+    for (const LabelCounts& counts : proposal.replacement_counts) {
+      captured_fraud += counts.fraud;
+    }
+    if (captured_fraud <= 3) {
+      review.action = SplitReview::Action::kAcceptRevised;
+      review.revised = {};
+      return review;
+    }
+  }
+  // A split that loses currently captured fraud is the wrong attribute —
+  // ask for an alternative (Algorithm 2 then tries the next attribute).
+  if (proposal.delta.fraud < 0) {
+    review.action = SplitReview::Action::kReject;
+    return review;
+  }
+  // Elena's pruning (Example 4.7): drop replacement fragments that capture
+  // no reported fraud — they only perpetuate an over-generalized rule.
+  if (proposal.replacement_counts.size() == proposal.replacements.size()) {
+    std::vector<Rule> kept;
+    for (size_t i = 0; i < proposal.replacements.size(); ++i) {
+      if (proposal.replacement_counts[i].fraud > 0) {
+        kept.push_back(proposal.replacements[i]);
+      }
+    }
+    if (kept.size() < proposal.replacements.size()) {
+      review.action = SplitReview::Action::kAcceptRevised;
+      review.revised = std::move(kept);
+      return review;
+    }
+  }
+  review.action = SplitReview::Action::kAccept;
+  return review;
+}
+
+RetirementReview OracleExpert::ReviewRetirement(const Rule& rule,
+                                                const Relation& relation) {
+  (void)relation;
+  RetirementReview review;
+  review.seconds = options_.time_factor * time_model_.ReviewSplitSeconds();
+  total_seconds_ += review.seconds;
+  // Keep the exact signature of a scheme that, to the expert's knowledge,
+  // has not wound down; everything else the detector flagged may go.
+  for (const KnownScheme& scheme : schemes_) {
+    if (rule == scheme.rule && scheme.ongoing) {
+      review.retire = false;
+      return review;
+    }
+  }
+  review.retire = true;
+  return review;
+}
+
+std::unique_ptr<OracleExpert> MakeDomainExpert(const Dataset& dataset,
+                                               uint64_t seed) {
+  OracleOptions options;
+  options.blind_accept_prob = 0.01;
+  options.wrong_reject_prob = 0.02;
+  options.recognition_error = 0.01;
+  options.time_factor = 1.0;
+  options.seed = seed;
+  return std::make_unique<OracleExpert>(dataset, options, "domain-expert");
+}
+
+std::unique_ptr<OracleExpert> MakeNoviceExpert(const Dataset& dataset,
+                                               uint64_t seed) {
+  OracleOptions options;
+  options.blind_accept_prob = 0.15;
+  options.wrong_reject_prob = 0.08;
+  options.recognition_error = 0.25;
+  options.time_factor = 1.8;
+  options.seed = seed;
+  return std::make_unique<OracleExpert>(dataset, options, "novice");
+}
+
+}  // namespace rudolf

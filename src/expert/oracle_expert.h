@@ -1,0 +1,110 @@
+// Simulated domain experts. An OracleExpert stands in for the paper's human
+// experts (Section 5 ran 8 fraud-detection professionals): it "knows" the
+// true signatures of the ongoing schemes and reviews proposals the way the
+// paper describes Elena working — accepting proposals that match a real
+// scheme, rewriting conditions toward the scheme's true thresholds (the
+// "rounding generalization" of Example 4.4), dismissing clusters that match
+// no scheme (mislabeled noise), pruning fraud-free split fragments (Elena
+// dropping r11 in Example 4.7), repairing malformed rules outright, and
+// tolerating a couple of stray captures on a verified signature.
+//
+// The expert is domain-agnostic: it is constructed from a list of
+// KnownSchemes (exact rules + whether the scheme is still ongoing) over any
+// schema; a convenience constructor derives them from a credit-card
+// workload Dataset. Noise knobs degrade the oracle into a realistic expert
+// or a novice (Section 5's student volunteers).
+
+#ifndef RUDOLF_EXPERT_ORACLE_EXPERT_H_
+#define RUDOLF_EXPERT_ORACLE_EXPERT_H_
+
+#include <memory>
+#include <string>
+
+#include "expert/expert.h"
+#include "expert/time_model.h"
+#include "workload/generator.h"
+
+namespace rudolf {
+
+/// One scheme the expert knows about: its exact rule and whether, to the
+/// expert's knowledge, the scheme is still running (retirement reviews keep
+/// the rules of ongoing schemes).
+struct KnownScheme {
+  Rule rule;
+  bool ongoing = true;
+};
+
+/// Behavioral knobs of the simulated expert.
+struct OracleOptions {
+  /// Probability of waving a plausible proposal through without real review
+  /// (behaving like RUDOLF⁻ for that interaction).
+  double blind_accept_prob = 0.0;
+  /// Probability of rejecting a proposal the oracle would have accepted.
+  double wrong_reject_prob = 0.0;
+  /// Probability of failing to recognize noise for what it is (accepting a
+  /// noise cluster / missing a mislabeled report).
+  double recognition_error = 0.0;
+  /// Splits of a rule the expert knows to be a scheme's exact signature are
+  /// declined when they would merely shave off this many (or fewer)
+  /// reported-legitimate/unlabeled rows — Section 4's "the inclusion of the
+  /// remaining legitimate transactions is acceptable".
+  int64_t split_tolerance = 2;
+  /// Multiplier on all interaction times (novices are slower).
+  double time_factor = 1.0;
+  TimeModelOptions time;
+  uint64_t seed = 1234;
+};
+
+/// \brief Scheme-aware simulated expert over any schema.
+class OracleExpert : public Expert {
+ public:
+  /// Domain-agnostic construction from known scheme signatures.
+  OracleExpert(std::shared_ptr<const Schema> schema,
+               std::vector<KnownScheme> schemes, OracleOptions options,
+               std::string display_name = "expert");
+
+  /// Convenience: derives the schemes from a credit-card workload dataset
+  /// (one per attack pattern; ongoing iff the pattern never fades).
+  /// `dataset` may be destroyed after construction.
+  OracleExpert(const Dataset& dataset, OracleOptions options,
+               std::string display_name = "expert");
+
+  GeneralizationReview ReviewGeneralization(const GeneralizationProposal& proposal,
+                                            const Relation& relation) override;
+  SplitReview ReviewSplit(const SplitProposal& proposal,
+                          const Relation& relation) override;
+  RetirementReview ReviewRetirement(const Rule& rule,
+                                    const Relation& relation) override;
+  std::string name() const override { return name_; }
+
+  /// Accumulated interaction time.
+  double total_seconds() const { return total_seconds_; }
+
+ private:
+  /// The scheme whose rule contains `representative` (exactly, or — when no
+  /// scheme fully contains it — ignoring attributes the representative does
+  /// not constrain, which is how the expert still recognizes a scheme when
+  /// the system cannot hold categorical conditions). nullptr = noise.
+  const KnownScheme* SchemeFor(const Rule& representative) const;
+
+  std::shared_ptr<const Schema> schema_;
+  std::vector<KnownScheme> schemes_;
+  OracleOptions options_;
+  std::string name_;
+  TimeModel time_model_;
+  Rng rng_;
+  double total_seconds_ = 0.0;
+};
+
+/// A realistic professional: tiny error rates (the paper reports <2%
+/// variance across its 8 experts).
+std::unique_ptr<OracleExpert> MakeDomainExpert(const Dataset& dataset,
+                                               uint64_t seed = 1234);
+
+/// A student volunteer: frequent recognition failures, slower.
+std::unique_ptr<OracleExpert> MakeNoviceExpert(const Dataset& dataset,
+                                               uint64_t seed = 1234);
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_EXPERT_ORACLE_EXPERT_H_

@@ -1,0 +1,33 @@
+#include "expert/scripted_expert.h"
+
+namespace rudolf {
+
+GeneralizationReview ScriptedExpert::ReviewGeneralization(
+    const GeneralizationProposal& proposal, const Relation& relation) {
+  (void)relation;
+  seen_generalizations_.push_back(proposal);
+  if (generalizations_.empty()) {
+    GeneralizationReview review;
+    review.action = GeneralizationReview::Action::kAccept;
+    return review;
+  }
+  GeneralizationReview review = std::move(generalizations_.front());
+  generalizations_.pop_front();
+  return review;
+}
+
+SplitReview ScriptedExpert::ReviewSplit(const SplitProposal& proposal,
+                                        const Relation& relation) {
+  (void)relation;
+  seen_splits_.push_back(proposal);
+  if (splits_.empty()) {
+    SplitReview review;
+    review.action = SplitReview::Action::kAccept;
+    return review;
+  }
+  SplitReview review = std::move(splits_.front());
+  splits_.pop_front();
+  return review;
+}
+
+}  // namespace rudolf

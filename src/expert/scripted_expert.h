@@ -1,0 +1,50 @@
+// A deterministic expert whose reviews come from a prerecorded script —
+// used by unit tests to drive Algorithms 1/2 through exact interaction
+// sequences (e.g. the Elena walkthrough of Examples 4.4 and 4.7).
+
+#ifndef RUDOLF_EXPERT_SCRIPTED_EXPERT_H_
+#define RUDOLF_EXPERT_SCRIPTED_EXPERT_H_
+
+#include <deque>
+#include <vector>
+
+#include "expert/expert.h"
+
+namespace rudolf {
+
+/// \brief Replays queued reviews; once a queue is exhausted every further
+/// proposal of that kind is accepted as-is.
+class ScriptedExpert : public Expert {
+ public:
+  ScriptedExpert() = default;
+
+  /// Queues the next generalization review to return.
+  void PushGeneralization(GeneralizationReview review) {
+    generalizations_.push_back(std::move(review));
+  }
+
+  /// Queues the next split review to return.
+  void PushSplit(SplitReview review) { splits_.push_back(std::move(review)); }
+
+  GeneralizationReview ReviewGeneralization(const GeneralizationProposal& proposal,
+                                            const Relation& relation) override;
+  SplitReview ReviewSplit(const SplitProposal& proposal,
+                          const Relation& relation) override;
+  std::string name() const override { return "scripted"; }
+
+  /// Every proposal shown to this expert, in order (for assertions).
+  const std::vector<GeneralizationProposal>& seen_generalizations() const {
+    return seen_generalizations_;
+  }
+  const std::vector<SplitProposal>& seen_splits() const { return seen_splits_; }
+
+ private:
+  std::deque<GeneralizationReview> generalizations_;
+  std::deque<SplitReview> splits_;
+  std::vector<GeneralizationProposal> seen_generalizations_;
+  std::vector<SplitProposal> seen_splits_;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_EXPERT_SCRIPTED_EXPERT_H_

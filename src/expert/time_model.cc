@@ -1,0 +1,25 @@
+#include "expert/time_model.h"
+
+#include <algorithm>
+
+namespace rudolf {
+
+double TimeModel::Draw(double mean, double std) {
+  // Truncated normal: never faster than a quarter of the mean.
+  return std::max(mean / 4.0, rng_.Normal(mean, std));
+}
+
+double TimeModel::ReviewGeneralizationSeconds() {
+  return Draw(options_.review_generalization_mean,
+              options_.review_generalization_std);
+}
+
+double TimeModel::ReviewSplitSeconds() {
+  return Draw(options_.review_split_mean, options_.review_split_std);
+}
+
+double TimeModel::ManualFixSeconds() {
+  return Draw(options_.manual_fix_mean, options_.manual_fix_std);
+}
+
+}  // namespace rudolf

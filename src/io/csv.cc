@@ -1,0 +1,114 @@
+#include "io/csv.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace rudolf {
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  bool needs_quote = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << EscapeField(fields[i]);
+  }
+  *out_ << '\n';
+  if (!*out_) return Status::IOError("CSV write failed");
+  return Status::OK();
+}
+
+Result<std::optional<std::vector<std::string>>> CsvReader::ReadRow() {
+  record_start_line_ = current_line_;
+  std::istream& in = *in_;
+  int first = in.peek();
+  if (first == std::char_traits<char>::eof()) return std::optional<std::vector<std::string>>{};
+
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  while (true) {
+    int ci = in.get();
+    if (ci == std::char_traits<char>::eof()) {
+      if (in_quotes) {
+        return Status::ParseError("unterminated quoted field starting at line " +
+                                  std::to_string(record_start_line_));
+      }
+      fields.push_back(std::move(field));
+      return std::optional<std::vector<std::string>>(std::move(fields));
+    }
+    char c = static_cast<char>(ci);
+    if (c == '\n') ++current_line_;
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          in.get();
+          field += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case ',':
+        fields.push_back(std::move(field));
+        field.clear();
+        field_was_quoted = false;
+        break;
+      case '\r':
+        // Swallow; the following '\n' (if any) terminates the record.
+        break;
+      case '\n':
+        fields.push_back(std::move(field));
+        return std::optional<std::vector<std::string>>(std::move(fields));
+      case '"':
+        if (!field.empty() || field_was_quoted) {
+          return Status::ParseError("stray quote in unquoted field at line " +
+                                    std::to_string(current_line_));
+        }
+        in_quotes = true;
+        field_was_quoted = true;
+        break;
+      default:
+        field += c;
+    }
+  }
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& text) {
+  std::istringstream in(text);
+  CsvReader reader(&in);
+  std::vector<std::vector<std::string>> rows;
+  while (true) {
+    RUDOLF_ASSIGN_OR_RETURN(auto row, reader.ReadRow());
+    if (!row.has_value()) break;
+    rows.push_back(std::move(*row));
+  }
+  return rows;
+}
+
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows) {
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  for (const auto& row : rows) {
+    Status st = writer.WriteRow(row);
+    (void)st;
+  }
+  return out.str();
+}
+
+}  // namespace rudolf

@@ -1,0 +1,181 @@
+#include "io/dataset_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "io/csv.h"
+#include "ontology/serialization.h"
+#include "util/string_util.h"
+
+namespace rudolf {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string OntologyFileName(const Ontology& o) { return o.name() + ".ont"; }
+
+Status WriteTransactions(const Relation& relation, std::ostream* out) {
+  CsvWriter writer(out);
+  const Schema& schema = relation.schema();
+  std::vector<std::string> header;
+  for (size_t i = 0; i < schema.arity(); ++i) header.push_back(schema.attribute(i).name);
+  header.push_back("__true_label");
+  header.push_back("__visible_label");
+  header.push_back("__score");
+  RUDOLF_RETURN_NOT_OK(writer.WriteRow(header));
+  std::vector<std::string> row(schema.arity() + 3);
+  for (size_t r = 0; r < relation.NumRows(); ++r) {
+    for (size_t c = 0; c < schema.arity(); ++c) {
+      row[c] = FormatCell(schema.attribute(c), relation.Get(r, c));
+    }
+    row[schema.arity()] = LabelName(relation.TrueLabel(r));
+    row[schema.arity() + 1] = LabelName(relation.VisibleLabel(r));
+    row[schema.arity() + 2] = std::to_string(relation.Score(r));
+    RUDOLF_RETURN_NOT_OK(writer.WriteRow(row));
+  }
+  return Status::OK();
+}
+
+Status ReadTransactions(std::istream* in, Relation* relation) {
+  CsvReader reader(in);
+  const Schema& schema = relation->schema();
+  RUDOLF_ASSIGN_OR_RETURN(auto header, reader.ReadRow());
+  if (!header.has_value()) return Status::ParseError("empty transactions CSV");
+  if (header->size() != schema.arity() + 3) {
+    return Status::ParseError("transactions CSV header arity mismatch");
+  }
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    if ((*header)[i] != schema.attribute(i).name) {
+      return Status::ParseError("CSV column '" + (*header)[i] +
+                                "' does not match schema attribute '" +
+                                schema.attribute(i).name + "'");
+    }
+  }
+  while (true) {
+    RUDOLF_ASSIGN_OR_RETURN(auto row, reader.ReadRow());
+    if (!row.has_value()) break;
+    if (row->size() == 1 && (*row)[0].empty()) continue;  // trailing blank line
+    if (row->size() != schema.arity() + 3) {
+      return Status::ParseError("row at line " + std::to_string(reader.line_number()) +
+                                " has wrong field count");
+    }
+    Tuple tuple(schema.arity());
+    for (size_t c = 0; c < schema.arity(); ++c) {
+      RUDOLF_ASSIGN_OR_RETURN(tuple[c], ParseCell(schema.attribute(c), (*row)[c]));
+    }
+    RUDOLF_ASSIGN_OR_RETURN(Label true_label, ParseLabel((*row)[schema.arity()]));
+    RUDOLF_ASSIGN_OR_RETURN(Label visible_label,
+                            ParseLabel((*row)[schema.arity() + 1]));
+    RUDOLF_ASSIGN_OR_RETURN(int64_t score, ParseInt64((*row)[schema.arity() + 2]));
+    RUDOLF_RETURN_NOT_OK(relation->AppendRow(tuple, true_label, visible_label,
+                                             static_cast<int>(score)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveDataset(const Relation& relation, const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create directory: " + dir);
+
+  const Schema& schema = relation.schema();
+  // Schema file + ontologies (each distinct ontology once).
+  std::ofstream schema_out(fs::path(dir) / "schema.txt");
+  if (!schema_out) return Status::IOError("cannot write schema.txt in " + dir);
+  std::map<const Ontology*, std::string> saved;
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    const AttributeDef& def = schema.attribute(i);
+    if (def.kind == AttrKind::kNumeric) {
+      schema_out << "numeric " << def.name
+                 << (def.display == NumericDisplay::kClock ? " clock" : "") << "\n";
+    } else {
+      const Ontology* o = def.ontology.get();
+      auto it = saved.find(o);
+      if (it == saved.end()) {
+        std::string fname = OntologyFileName(*o);
+        RUDOLF_RETURN_NOT_OK(SaveOntology(*o, (fs::path(dir) / fname).string()));
+        it = saved.emplace(o, fname).first;
+      }
+      schema_out << "categorical " << def.name << " " << it->second << "\n";
+    }
+  }
+  schema_out.close();
+  if (!schema_out) return Status::IOError("schema.txt write failed");
+
+  std::ofstream tx_out(fs::path(dir) / "transactions.csv");
+  if (!tx_out) return Status::IOError("cannot write transactions.csv in " + dir);
+  RUDOLF_RETURN_NOT_OK(WriteTransactions(relation, &tx_out));
+  tx_out.close();
+  if (!tx_out) return Status::IOError("transactions.csv write failed");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Relation>> LoadDataset(const std::string& dir) {
+  std::ifstream schema_in(fs::path(dir) / "schema.txt");
+  if (!schema_in) return Status::IOError("cannot read schema.txt in " + dir);
+
+  auto schema = std::make_shared<Schema>();
+  std::map<std::string, std::shared_ptr<const Ontology>> ontologies;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(schema_in, line)) {
+    ++line_no;
+    std::string_view v = Trim(line);
+    if (v.empty() || v[0] == '#') continue;
+    std::vector<std::string> parts = Split(std::string(v), ' ');
+    if (parts.size() < 2) {
+      return Status::ParseError("schema.txt line " + std::to_string(line_no) +
+                                ": expected '<kind> <name> ...'");
+    }
+    if (parts[0] == "numeric") {
+      NumericDisplay display = NumericDisplay::kPlain;
+      if (parts.size() >= 3 && parts[2] == "clock") display = NumericDisplay::kClock;
+      RUDOLF_RETURN_NOT_OK(schema->AddNumeric(parts[1], display));
+    } else if (parts[0] == "categorical") {
+      if (parts.size() < 3) {
+        return Status::ParseError("schema.txt line " + std::to_string(line_no) +
+                                  ": categorical needs an ontology file");
+      }
+      auto it = ontologies.find(parts[2]);
+      if (it == ontologies.end()) {
+        RUDOLF_ASSIGN_OR_RETURN(
+            auto loaded, LoadOntology((fs::path(dir) / parts[2]).string()));
+        it = ontologies
+                 .emplace(parts[2], std::shared_ptr<const Ontology>(std::move(loaded)))
+                 .first;
+      }
+      RUDOLF_RETURN_NOT_OK(schema->AddCategorical(parts[1], it->second));
+    } else {
+      return Status::ParseError("schema.txt line " + std::to_string(line_no) +
+                                ": unknown kind '" + parts[0] + "'");
+    }
+  }
+
+  auto relation = std::make_unique<Relation>(schema);
+  std::ifstream tx_in(fs::path(dir) / "transactions.csv");
+  if (!tx_in) return Status::IOError("cannot read transactions.csv in " + dir);
+  RUDOLF_RETURN_NOT_OK(ReadTransactions(&tx_in, relation.get()));
+  return relation;
+}
+
+Status SaveTransactionsCsv(const Relation& relation, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot write: " + path);
+  RUDOLF_RETURN_NOT_OK(WriteTransactions(relation, &out));
+  out.close();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadTransactionsCsv(const std::string& path, Relation* relation) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot read: " + path);
+  return ReadTransactions(&in, relation);
+}
+
+}  // namespace rudolf

@@ -1,0 +1,41 @@
+// Persistence of a full dataset as a directory:
+//
+//   <dir>/schema.txt            one line per attribute:
+//                                 numeric <name> [clock]
+//                                 categorical <name> <ontology file name>
+//   <dir>/<ontology>.ont        one file per distinct ontology
+//   <dir>/transactions.csv      header: attribute names + __true_label,
+//                               __visible_label, __score; cells in text form
+//
+// Loading reconstructs the schema, the ontologies and the relation.
+
+#ifndef RUDOLF_IO_DATASET_IO_H_
+#define RUDOLF_IO_DATASET_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace rudolf {
+
+/// Saves schema, ontologies and transactions under `dir` (created if needed).
+Status SaveDataset(const Relation& relation, const std::string& dir);
+
+/// Loads a dataset previously written by SaveDataset.
+Result<std::unique_ptr<Relation>> LoadDataset(const std::string& dir);
+
+/// Writes only the transactions of `relation` as CSV to `path` (no schema /
+/// ontology files); readable with LoadTransactionsCsv against a compatible
+/// schema.
+Status SaveTransactionsCsv(const Relation& relation, const std::string& path);
+
+/// Appends rows parsed from `path` into `relation` (which supplies schema
+/// and ontologies). The CSV header must match the schema attribute names
+/// followed by __true_label, __visible_label, __score.
+Status LoadTransactionsCsv(const std::string& path, Relation* relation);
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_IO_DATASET_IO_H_

@@ -1,0 +1,60 @@
+#include "io/rules_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "rules/parser.h"
+#include "util/string_util.h"
+
+namespace rudolf {
+
+std::string RuleSetToText(const RuleSet& rules, const Schema& schema) {
+  std::string out;
+  for (RuleId id : rules.LiveIds()) {
+    out += "rule " + rules.Get(id).ToString(schema) + "\n";
+  }
+  return out;
+}
+
+Result<RuleSet> RuleSetFromText(const Schema& schema, const std::string& text) {
+  RuleSet out;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view v = Trim(line);
+    if (v.empty() || v[0] == '#') continue;
+    if (!StartsWith(v, "rule ") && v != "rule") {
+      return Status::ParseError("rules file line " + std::to_string(line_no) +
+                                ": expected 'rule <conditions>'");
+    }
+    std::string body(v.size() > 5 ? v.substr(5) : "");
+    auto rule = ParseRule(schema, body);
+    if (!rule.ok()) {
+      return Status::ParseError("rules file line " + std::to_string(line_no) + ": " +
+                                rule.status().message());
+    }
+    out.AddRule(std::move(rule).ValueOrDie());
+  }
+  return out;
+}
+
+Status SaveRuleSet(const RuleSet& rules, const Schema& schema,
+                   const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot write: " + path);
+  out << RuleSetToText(rules, schema);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<RuleSet> LoadRuleSet(const Schema& schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return RuleSetFromText(schema, buf.str());
+}
+
+}  // namespace rudolf

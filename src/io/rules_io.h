@@ -1,0 +1,29 @@
+// Persistence of rule sets as text: one "rule <text>" line per live rule,
+// in the parser's grammar. Comment lines start with '#'.
+
+#ifndef RUDOLF_IO_RULES_IO_H_
+#define RUDOLF_IO_RULES_IO_H_
+
+#include <string>
+
+#include "rules/rule_set.h"
+#include "util/status.h"
+
+namespace rudolf {
+
+/// Renders a rule set in the rules-file format.
+std::string RuleSetToText(const RuleSet& rules, const Schema& schema);
+
+/// Parses a rules file body against the schema.
+Result<RuleSet> RuleSetFromText(const Schema& schema, const std::string& text);
+
+/// Writes RuleSetToText to `path`.
+Status SaveRuleSet(const RuleSet& rules, const Schema& schema,
+                   const std::string& path);
+
+/// Loads a rules file.
+Result<RuleSet> LoadRuleSet(const Schema& schema, const std::string& path);
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_IO_RULES_IO_H_

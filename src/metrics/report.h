@@ -1,0 +1,39 @@
+// Fixed-width table printing for the benchmark harness: every bench prints
+// the series of its paper figure in a uniform format.
+
+#ifndef RUDOLF_METRICS_REPORT_H_
+#define RUDOLF_METRICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace rudolf {
+
+/// \brief Accumulates rows of string cells and renders an aligned table.
+class TablePrinter {
+ public:
+  /// Creates a printer with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row (must match the header arity).
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience cell formatters.
+  static std::string Num(double v, int decimals = 1);
+  static std::string Int(long long v);
+  static std::string Pct(double v, int decimals = 2);
+
+  /// Renders with a header rule and column alignment.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_METRICS_REPORT_H_

@@ -1,0 +1,27 @@
+#include "ml/features.h"
+
+#include <cmath>
+
+namespace rudolf {
+
+double GaussianStats::Variance() const {
+  if (count < 2) return 1.0;
+  double mean = Mean();
+  double var = sum_sq / static_cast<double>(count) - mean * mean;
+  return std::max(var, 1e-6);
+}
+
+double GaussianStats::LogDensity(double v) const {
+  double var = Variance();
+  double diff = v - Mean();
+  return -0.5 * (std::log(2.0 * M_PI * var) + diff * diff / var);
+}
+
+double CategoricalStats::LogProbability(ConceptId c, double laplace) const {
+  double num = static_cast<double>(counts[c]) + laplace;
+  double den = static_cast<double>(total) +
+               laplace * static_cast<double>(counts.size());
+  return std::log(num / den);
+}
+
+}  // namespace rudolf

@@ -1,0 +1,56 @@
+// Per-attribute, per-class sufficient statistics for the Naive Bayes risk
+// scorer: Gaussian moments for numeric attributes, smoothed leaf-frequency
+// tables for categorical attributes.
+
+#ifndef RUDOLF_ML_FEATURES_H_
+#define RUDOLF_ML_FEATURES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace rudolf {
+
+/// Gaussian sufficient statistics (numeric attributes).
+struct GaussianStats {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  size_t count = 0;
+
+  void Add(double v) {
+    sum += v;
+    sum_sq += v * v;
+    ++count;
+  }
+  double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+  /// Variance with a small floor to avoid singular likelihoods.
+  double Variance() const;
+  /// Log density of v under the fitted Gaussian.
+  double LogDensity(double v) const;
+};
+
+/// Smoothed categorical frequency table over the concepts of one ontology
+/// (leaves in practice; ids index the full concept universe).
+struct CategoricalStats {
+  std::vector<size_t> counts;  // per concept id
+  size_t total = 0;
+
+  void Resize(size_t num_concepts) { counts.assign(num_concepts, 0); }
+  void Add(ConceptId c) {
+    ++counts[c];
+    ++total;
+  }
+  /// Laplace-smoothed log probability of concept c.
+  double LogProbability(ConceptId c, double laplace) const;
+};
+
+/// All per-class statistics for one attribute.
+struct AttributeStats {
+  GaussianStats gaussian;        // numeric attributes
+  CategoricalStats categorical;  // categorical attributes
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_ML_FEATURES_H_

@@ -1,0 +1,99 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rudolf {
+
+bool NaiveBayesScorer::IsExcluded(size_t attr) const {
+  return std::find(options_.exclude_attributes.begin(),
+                   options_.exclude_attributes.end(),
+                   attr) != options_.exclude_attributes.end();
+}
+
+Status NaiveBayesScorer::Train(const Relation& relation,
+                               const std::vector<size_t>& rows) {
+  const Schema& schema = relation.schema();
+  fraud_stats_.assign(schema.arity(), AttributeStats{});
+  legit_stats_.assign(schema.arity(), AttributeStats{});
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    const AttributeDef& def = schema.attribute(i);
+    if (def.kind == AttrKind::kCategorical) {
+      fraud_stats_[i].categorical.Resize(def.ontology->size());
+      legit_stats_[i].categorical.Resize(def.ontology->size());
+    }
+  }
+  size_t n_fraud = 0;
+  size_t n_legit = 0;
+  for (size_t row : rows) {
+    Label label = options_.use_true_labels ? relation.TrueLabel(row)
+                                           : relation.VisibleLabel(row);
+    if (label == Label::kUnlabeled) continue;
+    std::vector<AttributeStats>& stats =
+        (label == Label::kFraud) ? fraud_stats_ : legit_stats_;
+    (label == Label::kFraud ? n_fraud : n_legit) += 1;
+    for (size_t i = 0; i < schema.arity(); ++i) {
+      if (IsExcluded(i)) continue;
+      const AttributeDef& def = schema.attribute(i);
+      if (def.kind == AttrKind::kNumeric) {
+        stats[i].gaussian.Add(static_cast<double>(relation.Get(row, i)));
+      } else {
+        stats[i].categorical.Add(static_cast<ConceptId>(relation.Get(row, i)));
+      }
+    }
+  }
+  if (n_fraud == 0 || n_legit == 0) {
+    return Status::InvalidArgument(
+        "Naive Bayes training needs at least one fraud and one legitimate row "
+        "(got " + std::to_string(n_fraud) + " fraud, " + std::to_string(n_legit) +
+        " legitimate)");
+  }
+  double total = static_cast<double>(n_fraud + n_legit);
+  log_prior_fraud_ = std::log(static_cast<double>(n_fraud) / total);
+  log_prior_legit_ = std::log(static_cast<double>(n_legit) / total);
+  trained_ = true;
+  return Status::OK();
+}
+
+Status NaiveBayesScorer::TrainOnAll(const Relation& relation) {
+  std::vector<size_t> rows(relation.NumRows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return Train(relation, rows);
+}
+
+double NaiveBayesScorer::ClassLogLikelihood(
+    const Relation& relation, size_t row,
+    const std::vector<AttributeStats>& stats, double log_prior) const {
+  const Schema& schema = relation.schema();
+  double ll = log_prior;
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    if (IsExcluded(i)) continue;
+    const AttributeDef& def = schema.attribute(i);
+    if (def.kind == AttrKind::kNumeric) {
+      ll += stats[i].gaussian.LogDensity(static_cast<double>(relation.Get(row, i)));
+    } else {
+      ll += stats[i].categorical.LogProbability(
+          static_cast<ConceptId>(relation.Get(row, i)), options_.laplace);
+    }
+  }
+  return ll;
+}
+
+double NaiveBayesScorer::FraudProbability(const Relation& relation,
+                                          size_t row) const {
+  if (!trained_) return 0.0;
+  double lf = ClassLogLikelihood(relation, row, fraud_stats_, log_prior_fraud_);
+  double ll = ClassLogLikelihood(relation, row, legit_stats_, log_prior_legit_);
+  double m = std::max(lf, ll);
+  double ef = std::exp(lf - m);
+  double el = std::exp(ll - m);
+  return ef / (ef + el);
+}
+
+int NaiveBayesScorer::RiskScore(const Relation& relation, size_t row) const {
+  double p = FraudProbability(relation, row);
+  int score = static_cast<int>(std::lround(p * 1000.0));
+  return std::clamp(score, 0, 1000);
+}
+
+}  // namespace rudolf

@@ -1,0 +1,66 @@
+// The ML risk scorer substrate. The paper's company computes a risk score in
+// [0, 1000] with a proprietary model; we stand in a Naive Bayes classifier
+// (Gaussian numeric likelihoods + smoothed categorical tables) trained on
+// the labeled transactions. Its calibrated fraud probability, scaled to
+// 0..1000, populates the `risk_score` attribute that the fully-automatic
+// threshold baseline consumes.
+
+#ifndef RUDOLF_ML_NAIVE_BAYES_H_
+#define RUDOLF_ML_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "ml/features.h"
+#include "util/status.h"
+
+namespace rudolf {
+
+/// \brief Gaussian/categorical Naive Bayes over the transaction schema.
+class NaiveBayesScorer {
+ public:
+  struct Options {
+    double laplace = 1.0;           ///< categorical smoothing
+    /// Attribute indices to ignore (e.g. the risk_score attribute itself,
+    /// which must not feed back into the model).
+    std::vector<size_t> exclude_attributes;
+    /// Train on ground-truth labels instead of visible ones (used by the
+    /// workload generator to play the role of the company's historical
+    /// model, which was fit on verified outcomes).
+    bool use_true_labels = false;
+  };
+
+  NaiveBayesScorer() = default;
+  explicit NaiveBayesScorer(Options options) : options_(std::move(options)) {}
+
+  /// Fits on the rows of `relation` whose *visible* label is fraud or
+  /// legitimate (unlabeled rows are skipped). Fails if either class is empty.
+  Status Train(const Relation& relation, const std::vector<size_t>& rows);
+
+  /// Convenience: trains on all rows of the relation.
+  Status TrainOnAll(const Relation& relation);
+
+  /// Posterior fraud probability of one row.
+  double FraudProbability(const Relation& relation, size_t row) const;
+
+  /// FraudProbability scaled to the paper's 0..1000 risk-score range.
+  int RiskScore(const Relation& relation, size_t row) const;
+
+  bool trained() const { return trained_; }
+
+ private:
+  bool IsExcluded(size_t attr) const;
+  double ClassLogLikelihood(const Relation& relation, size_t row,
+                            const std::vector<AttributeStats>& stats,
+                            double log_prior) const;
+
+  Options options_;
+  bool trained_ = false;
+  std::vector<AttributeStats> fraud_stats_;
+  std::vector<AttributeStats> legit_stats_;
+  double log_prior_fraud_ = 0.0;
+  double log_prior_legit_ = 0.0;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_ML_NAIVE_BAYES_H_

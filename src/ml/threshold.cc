@@ -1,0 +1,62 @@
+#include "ml/threshold.h"
+
+#include <algorithm>
+
+namespace rudolf {
+
+int TuneScoreThreshold(const Relation& relation, const std::vector<size_t>& rows,
+                       size_t score_attribute, ThresholdCriterion criterion) {
+  // Collect (score, is_fraud) pairs for labeled rows.
+  std::vector<std::pair<int64_t, bool>> labeled;
+  for (size_t row : rows) {
+    Label l = relation.VisibleLabel(row);
+    if (l == Label::kUnlabeled) continue;
+    labeled.emplace_back(relation.Get(row, score_attribute), l == Label::kFraud);
+  }
+  size_t total_fraud = 0;
+  for (const auto& [s, f] : labeled) total_fraud += f ? 1 : 0;
+  if (total_fraud == 0) return 1001;
+
+  std::sort(labeled.begin(), labeled.end());
+  // Sweep candidate thresholds between distinct scores. At threshold t,
+  // everything with score >= t is classified fraud.
+  size_t n = labeled.size();
+  double best_metric = -1.0;
+  int best_threshold = 1001;
+  // fraud_ge[i] = #fraud among labeled[i..n), computed by suffix scan.
+  std::vector<size_t> fraud_ge(n + 1, 0);
+  for (size_t i = n; i-- > 0;) {
+    fraud_ge[i] = fraud_ge[i + 1] + (labeled[i].second ? 1 : 0);
+  }
+  for (size_t i = 0; i <= n; ++i) {
+    // Candidate threshold: just above labeled[i-1], i.e. labeled[i].first
+    // (or max+1 at i == n). Skip duplicates.
+    if (i > 0 && i < n && labeled[i].first == labeled[i - 1].first) continue;
+    int64_t t = (i == n) ? labeled[n - 1].first + 1 : labeled[i].first;
+    size_t predicted_pos = n - i;
+    size_t tp = fraud_ge[i];
+    size_t fp = predicted_pos - tp;
+    size_t fn = total_fraud - tp;
+    double metric;
+    if (criterion == ThresholdCriterion::kF1) {
+      metric = (2.0 * tp) / static_cast<double>(2 * tp + fp + fn);
+    } else {
+      size_t correct = tp + (n - predicted_pos - fn);
+      metric = static_cast<double>(correct) / static_cast<double>(n);
+    }
+    if (metric > best_metric) {
+      best_metric = metric;
+      best_threshold = static_cast<int>(std::clamp<int64_t>(t, 0, 1001));
+    }
+  }
+  return best_threshold;
+}
+
+Rule MakeThresholdRule(const Schema& schema, size_t score_attribute, int threshold) {
+  Rule rule = Rule::Trivial(schema);
+  rule.set_condition(score_attribute,
+                     Condition::MakeNumeric(Interval::AtLeast(threshold)));
+  return rule;
+}
+
+}  // namespace rudolf

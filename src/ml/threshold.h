@@ -1,0 +1,36 @@
+// The fully-automatic baseline of Section 5: a single rule of the form
+// "risk_score ≥ threshold". This file tunes the threshold on labeled data
+// and materializes the rule in the ordinary rule language.
+
+#ifndef RUDOLF_ML_THRESHOLD_H_
+#define RUDOLF_ML_THRESHOLD_H_
+
+#include <vector>
+
+#include "relation/relation.h"
+#include "rules/rule.h"
+
+namespace rudolf {
+
+/// Threshold selection criterion.
+enum class ThresholdCriterion {
+  kF1,        ///< maximize F1 of the fraud class
+  kAccuracy,  ///< minimize misclassifications
+};
+
+/// \brief Chooses the score threshold t maximizing the criterion over the
+/// rows whose visible label is fraud or legitimate, classifying
+/// "score(row) ≥ t ⇒ fraud".
+///
+/// `score_attribute` is the index of the numeric risk-score attribute.
+/// Returns 1001 (capture nothing) when no labeled fraud exists.
+int TuneScoreThreshold(const Relation& relation, const std::vector<size_t>& rows,
+                       size_t score_attribute,
+                       ThresholdCriterion criterion = ThresholdCriterion::kF1);
+
+/// The rule "score_attribute ≥ threshold" with all other conditions trivial.
+Rule MakeThresholdRule(const Schema& schema, size_t score_attribute, int threshold);
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_ML_THRESHOLD_H_

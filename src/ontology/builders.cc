@@ -1,0 +1,85 @@
+#include "ontology/builders.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace rudolf {
+
+namespace {
+
+constexpr const char* kVenueCategories[] = {"Gas Station", "Supermarket",
+                                            "Online Store", "Restaurant",
+                                            "Electronics",  "ATM"};
+constexpr int kNumVenueCategories =
+    static_cast<int>(sizeof(kVenueCategories) / sizeof(kVenueCategories[0]));
+
+ConceptId MustAdd(Ontology* o, const std::string& name,
+                  const std::vector<ConceptId>& parents) {
+  auto r = o->AddConcept(name, parents);
+  assert(r.ok());
+  return r.ValueOrDie();
+}
+
+}  // namespace
+
+std::unique_ptr<Ontology> BuildTransactionTypeOntology() {
+  auto o = std::make_unique<Ontology>("transaction_type", "Any type");
+  ConceptId top = o->top();
+  ConceptId online = MustAdd(o.get(), "Online", {top});
+  ConceptId offline = MustAdd(o.get(), "Offline", {top});
+  ConceptId with_code = MustAdd(o.get(), "With code", {top});
+  ConceptId no_code = MustAdd(o.get(), "No code", {top});
+  MustAdd(o.get(), "Online, with CCV", {online, with_code});
+  MustAdd(o.get(), "Online, no CCV", {online, no_code});
+  MustAdd(o.get(), "Offline, with PIN", {offline, with_code});
+  MustAdd(o.get(), "Offline, without PIN", {offline, no_code});
+  return o;
+}
+
+std::unique_ptr<Ontology> BuildGeoOntology(const GeoOntologyOptions& options) {
+  auto o = std::make_unique<Ontology>("location", "World");
+  ConceptId top = o->top();
+  std::vector<ConceptId> categories;
+  categories.reserve(kNumVenueCategories);
+  for (const char* cat : kVenueCategories) {
+    categories.push_back(MustAdd(o.get(), cat, {top}));
+  }
+  for (int r = 0; r < options.num_regions; ++r) {
+    ConceptId region = MustAdd(o.get(), StringPrintf("Region %d", r + 1), {top});
+    for (int c = 0; c < options.num_cities_per_region; ++c) {
+      ConceptId city = MustAdd(
+          o.get(), StringPrintf("City %d.%d", r + 1, c + 1), {region});
+      for (int v = 0; v < options.num_venues_per_city; ++v) {
+        int cat = v % kNumVenueCategories;
+        MustAdd(o.get(),
+                StringPrintf("%s City %d.%d #%d", kVenueCategories[cat], r + 1,
+                             c + 1, v / kNumVenueCategories + 1),
+                {city, categories[cat]});
+      }
+    }
+  }
+  return o;
+}
+
+int GeoVenueCategoryCount() { return kNumVenueCategories; }
+
+const char* GeoVenueCategoryName(int i) {
+  assert(i >= 0 && i < kNumVenueCategories);
+  return kVenueCategories[i];
+}
+
+std::unique_ptr<Ontology> BuildClientTypeOntology() {
+  auto o = std::make_unique<Ontology>("client_type", "Any client");
+  ConceptId top = o->top();
+  ConceptId priv = MustAdd(o.get(), "Private", {top});
+  ConceptId biz = MustAdd(o.get(), "Business", {top});
+  MustAdd(o.get(), "Standard", {priv});
+  MustAdd(o.get(), "Gold", {priv});
+  MustAdd(o.get(), "Platinum", {priv});
+  MustAdd(o.get(), "Small business", {biz});
+  MustAdd(o.get(), "Corporate", {biz});
+  return o;
+}
+
+}  // namespace rudolf

@@ -1,0 +1,56 @@
+// Ready-made ontologies: the transaction-type DAG of Figure 1 and synthetic
+// location / client-type ontologies standing in for the paper's
+// DBPedia-derived geographical ontology (see DESIGN.md, substitutions).
+
+#ifndef RUDOLF_ONTOLOGY_BUILDERS_H_
+#define RUDOLF_ONTOLOGY_BUILDERS_H_
+
+#include <memory>
+
+#include "ontology/ontology.h"
+
+namespace rudolf {
+
+/// \brief The transaction-type DAG from the bottom of Figure 1.
+///
+/// Two orthogonal dimensions over four leaves:
+///   channel:  Online   = {Online, with CCV; Online, no CCV}
+///             Offline  = {Offline, with PIN; Offline, without PIN}
+///   code:     With code = {Online, with CCV; Offline, with PIN}
+///             No code   = {Online, no CCV; Offline, without PIN}
+/// This reproduces the paper's distances, e.g.
+/// |Offline, with PIN − Online, with CCV| = 1 (via "With code") and
+/// |Offline, without PIN − Online, with CCV| = 2 (via ⊤).
+std::unique_ptr<Ontology> BuildTransactionTypeOntology();
+
+/// Shape parameters for the synthetic location ontology.
+struct GeoOntologyOptions {
+  int num_regions = 4;
+  int num_cities_per_region = 5;
+  int num_venues_per_city = 6;  // spread across the venue categories
+};
+
+/// \brief A synthetic location ontology with two dimensions, mirroring the
+/// paper's geographic-containment + venue-category structure.
+///
+/// Geography: World ⊤ → "Region i" → "City i.j"; venue categories (Gas
+/// Station, Supermarket, Online Store, Restaurant, Electronics, ATM) sit
+/// directly under ⊤. Each concrete venue leaf, e.g. "Gas Station City1.2 #3",
+/// has two parents: its city and its category — so "Gas Station A" and
+/// "Gas Station B" style generalizations are one step up, exactly as in the
+/// paper's running example.
+std::unique_ptr<Ontology> BuildGeoOntology(const GeoOntologyOptions& options = {});
+
+/// Number of venue categories used by BuildGeoOntology.
+int GeoVenueCategoryCount();
+
+/// Name of the i-th venue category (0 <= i < GeoVenueCategoryCount()).
+const char* GeoVenueCategoryName(int i);
+
+/// \brief A small flat client-type ontology: ⊤ → {Private, Business} →
+/// {Private: Standard, Gold, Platinum; Business: Small, Corporate}.
+std::unique_ptr<Ontology> BuildClientTypeOntology();
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_ONTOLOGY_BUILDERS_H_

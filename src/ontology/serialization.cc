@@ -1,0 +1,112 @@
+#include "ontology/serialization.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace rudolf {
+
+namespace {
+
+// Splits on a multi-character separator, trimming each piece.
+std::vector<std::string> SplitOn(std::string_view s, std::string_view sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(Trim(s.substr(start)));
+      break;
+    }
+    out.emplace_back(Trim(s.substr(start, pos - start)));
+    start = pos + sep.size();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string OntologyToString(const Ontology& ontology) {
+  std::ostringstream out;
+  out << "ontology " << ontology.name() << "\n";
+  out << "top " << ontology.NameOf(ontology.top()) << "\n";
+  for (ConceptId c = 1; c < ontology.size(); ++c) {
+    out << "concept " << ontology.NameOf(c) << " ::";
+    const auto& parents = ontology.ParentsOf(c);
+    for (size_t i = 0; i < parents.size(); ++i) {
+      out << (i == 0 ? " " : " || ") << ontology.NameOf(parents[i]);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<std::unique_ptr<Ontology>> OntologyFromString(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::string name = "ontology";
+  std::string top_name = "Any";
+  std::unique_ptr<Ontology> ontology;
+  int line_no = 0;
+  // Pending concept lines seen before the ontology header is complete.
+  auto ensure_ontology = [&]() {
+    if (!ontology) ontology = std::make_unique<Ontology>(name, top_name);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view v = Trim(line);
+    if (v.empty() || v[0] == '#') continue;
+    if (StartsWith(v, "ontology ")) {
+      if (ontology) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": 'ontology' after concepts");
+      }
+      name = std::string(Trim(v.substr(9)));
+    } else if (StartsWith(v, "top ")) {
+      if (ontology) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": 'top' after concepts");
+      }
+      top_name = std::string(Trim(v.substr(4)));
+    } else if (StartsWith(v, "concept ")) {
+      ensure_ontology();
+      std::string_view rest = v.substr(8);
+      size_t sep = rest.find("::");
+      if (sep == std::string_view::npos) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": expected 'concept <name> :: <parents>'");
+      }
+      std::string cname(Trim(rest.substr(0, sep)));
+      std::vector<ConceptId> parents;
+      for (const std::string& pname : SplitOn(rest.substr(sep + 2), "||")) {
+        RUDOLF_ASSIGN_OR_RETURN(ConceptId pid, ontology->Find(pname));
+        parents.push_back(pid);
+      }
+      RUDOLF_RETURN_NOT_OK(ontology->AddConcept(cname, parents).status());
+    } else {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": unrecognized directive: " + std::string(v));
+    }
+  }
+  ensure_ontology();
+  return ontology;
+}
+
+Status SaveOntology(const Ontology& ontology, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << OntologyToString(ontology);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Ontology>> LoadOntology(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return OntologyFromString(buf.str());
+}
+
+}  // namespace rudolf

@@ -1,0 +1,36 @@
+// Text (de)serialization of ontologies. The format is line-oriented:
+//
+//   ontology <name>
+//   top <top concept name>
+//   concept <name> :: <parent name> || <parent name> ...
+//
+// Concept names may contain spaces and commas, hence the "::" / "||"
+// separators. Lines starting with '#' and blank lines are ignored.
+
+#ifndef RUDOLF_ONTOLOGY_SERIALIZATION_H_
+#define RUDOLF_ONTOLOGY_SERIALIZATION_H_
+
+#include <memory>
+#include <string>
+
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace rudolf {
+
+/// Renders the ontology in the text format (insertion order, which is a
+/// topological order, so the output round-trips through LoadOntology).
+std::string OntologyToString(const Ontology& ontology);
+
+/// Parses an ontology from the text format.
+Result<std::unique_ptr<Ontology>> OntologyFromString(const std::string& text);
+
+/// Writes OntologyToString(ontology) to `path`.
+Status SaveOntology(const Ontology& ontology, const std::string& path);
+
+/// Reads and parses an ontology file.
+Result<std::unique_ptr<Ontology>> LoadOntology(const std::string& path);
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_ONTOLOGY_SERIALIZATION_H_

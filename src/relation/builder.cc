@@ -1,0 +1,110 @@
+#include "relation/builder.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace rudolf {
+
+RowBuilder::RowBuilder(std::shared_ptr<const Schema> schema)
+    : schema_(std::move(schema)),
+      values_(schema_->arity(), 0),
+      assigned_(schema_->arity(), false) {}
+
+void RowBuilder::SetAt(const std::string& name, AttrKind expected_kind,
+                       CellValue value) {
+  if (!status_.ok()) return;
+  auto idx = schema_->IndexOf(name);
+  if (!idx.ok()) {
+    status_ = idx.status();
+    return;
+  }
+  size_t i = idx.ValueOrDie();
+  if (schema_->attribute(i).kind != expected_kind) {
+    status_ = Status::InvalidArgument("attribute '" + name + "' has a different kind");
+    return;
+  }
+  values_[i] = value;
+  assigned_[i] = true;
+}
+
+RowBuilder& RowBuilder::Set(const std::string& name, CellValue value) {
+  SetAt(name, AttrKind::kNumeric, value);
+  return *this;
+}
+
+RowBuilder& RowBuilder::SetClock(const std::string& name, const std::string& hhmm) {
+  if (!status_.ok()) return *this;
+  auto minutes = ParseClock(hhmm);
+  if (!minutes.ok()) {
+    status_ = minutes.status();
+    return *this;
+  }
+  SetAt(name, AttrKind::kNumeric, minutes.ValueOrDie());
+  return *this;
+}
+
+RowBuilder& RowBuilder::SetConcept(const std::string& name,
+                                   const std::string& concept_name) {
+  if (!status_.ok()) return *this;
+  auto idx = schema_->IndexOf(name);
+  if (!idx.ok()) {
+    status_ = idx.status();
+    return *this;
+  }
+  size_t i = idx.ValueOrDie();
+  const AttributeDef& def = schema_->attribute(i);
+  if (def.kind != AttrKind::kCategorical) {
+    status_ = Status::InvalidArgument("attribute '" + name + "' is not categorical");
+    return *this;
+  }
+  auto concept_id = def.ontology->Find(concept_name);
+  if (!concept_id.ok()) {
+    status_ = concept_id.status();
+    return *this;
+  }
+  values_[i] = static_cast<CellValue>(concept_id.ValueOrDie());
+  assigned_[i] = true;
+  return *this;
+}
+
+Result<Tuple> RowBuilder::Build() const {
+  if (!status_.ok()) return status_;
+  for (size_t i = 0; i < schema_->arity(); ++i) {
+    if (schema_->attribute(i).kind == AttrKind::kCategorical && !assigned_[i]) {
+      return Status::InvalidArgument("categorical attribute '" +
+                                     schema_->attribute(i).name + "' was not set");
+    }
+  }
+  return values_;
+}
+
+CreditCardSchema MakeCreditCardSchema(const GeoOntologyOptions& geo) {
+  CreditCardSchema out;
+  out.type_ontology = BuildTransactionTypeOntology();
+  out.location_ontology = BuildGeoOntology(geo);
+  out.client_ontology = BuildClientTypeOntology();
+
+  auto schema = std::make_shared<Schema>();
+  Status st;
+  st = schema->AddNumeric("time", NumericDisplay::kClock);
+  assert(st.ok());
+  st = schema->AddNumeric("amount");
+  assert(st.ok());
+  st = schema->AddCategorical("type", out.type_ontology);
+  assert(st.ok());
+  st = schema->AddCategorical("location", out.location_ontology);
+  assert(st.ok());
+  st = schema->AddCategorical("client_type", out.client_ontology);
+  assert(st.ok());
+  st = schema->AddNumeric("prev_actions");
+  assert(st.ok());
+  st = schema->AddNumeric("risk_score");
+  assert(st.ok());
+  (void)st;
+  out.schema = std::move(schema);
+  // The layout struct is fixed by the insertion order above.
+  return out;
+}
+
+}  // namespace rudolf

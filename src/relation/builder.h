@@ -1,0 +1,75 @@
+// Ergonomic construction helpers: a named-attribute RowBuilder and the
+// standard credit-card transaction schema used by the workload generator,
+// the examples and most tests.
+
+#ifndef RUDOLF_RELATION_BUILDER_H_
+#define RUDOLF_RELATION_BUILDER_H_
+
+#include <memory>
+#include <string>
+
+#include "ontology/builders.h"
+#include "relation/relation.h"
+
+namespace rudolf {
+
+/// \brief Builds one Tuple by attribute name. Missing attributes default to 0
+/// (numeric) or ⊤'s first leaf is NOT assumed — Build() fails if a
+/// categorical attribute was never set.
+class RowBuilder {
+ public:
+  explicit RowBuilder(std::shared_ptr<const Schema> schema);
+
+  /// Sets a numeric attribute.
+  RowBuilder& Set(const std::string& name, CellValue value);
+
+  /// Sets a kClock numeric attribute from "HH:MM".
+  RowBuilder& SetClock(const std::string& name, const std::string& hhmm);
+
+  /// Sets a categorical attribute by concept name.
+  RowBuilder& SetConcept(const std::string& name, const std::string& concept_name);
+
+  /// Returns the assembled tuple, or the first error encountered by any
+  /// setter (errors are latched so call chains stay fluent).
+  Result<Tuple> Build() const;
+
+ private:
+  void SetAt(const std::string& name, AttrKind expected_kind, CellValue value);
+
+  std::shared_ptr<const Schema> schema_;
+  Tuple values_;
+  std::vector<bool> assigned_;
+  Status status_;
+};
+
+/// Attribute indices of the standard credit-card schema, for direct access.
+struct CreditCardSchemaLayout {
+  size_t time = 0;         ///< minutes since start of the dataset (kClock)
+  size_t amount = 1;       ///< whole currency units
+  size_t type = 2;         ///< transaction-type ontology (Figure 1)
+  size_t location = 3;     ///< geo/venue ontology
+  size_t client_type = 4;  ///< client-type ontology
+  size_t prev_actions = 5; ///< number of previous actions by the card (numeric)
+  size_t risk_score = 6;   ///< mirrored ML risk score 0..1000 (numeric)
+};
+
+/// \brief The standard schema: time, amount, type, location, client_type,
+/// prev_actions, risk_score.
+///
+/// The ML risk score is mirrored into a numeric attribute so the
+/// fully-automatic baseline ("score greater than threshold", Section 5) is an
+/// ordinary rule in the same language.
+struct CreditCardSchema {
+  std::shared_ptr<const Schema> schema;
+  std::shared_ptr<const Ontology> type_ontology;
+  std::shared_ptr<const Ontology> location_ontology;
+  std::shared_ptr<const Ontology> client_ontology;
+  CreditCardSchemaLayout layout;
+};
+
+/// Builds the standard credit-card schema with the given geo shape.
+CreditCardSchema MakeCreditCardSchema(const GeoOntologyOptions& geo = {});
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_RELATION_BUILDER_H_

@@ -1,0 +1,78 @@
+#include "relation/relation.h"
+
+#include <cassert>
+
+namespace rudolf {
+
+Relation::Relation(std::shared_ptr<const Schema> schema)
+    : schema_(std::move(schema)), columns_(schema_->arity()) {
+  assert(schema_ != nullptr);
+}
+
+Status Relation::AppendRow(const Tuple& row, Label true_label, Label visible_label,
+                           int score) {
+  if (row.size() != schema_->arity()) {
+    return Status::InvalidArgument("row arity " + std::to_string(row.size()) +
+                                   " != schema arity " +
+                                   std::to_string(schema_->arity()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const AttributeDef& def = schema_->attribute(i);
+    if (def.kind == AttrKind::kCategorical &&
+        !def.ontology->IsValid(static_cast<ConceptId>(row[i]))) {
+      return Status::InvalidArgument("invalid concept id for attribute '" +
+                                     def.name + "'");
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) columns_[i].push_back(row[i]);
+  true_labels_.push_back(true_label);
+  visible_labels_.push_back(visible_label);
+  scores_.push_back(score);
+  ++num_rows_;
+  return Status::OK();
+}
+
+Tuple Relation::GetRow(size_t row) const {
+  Tuple out(NumColumns());
+  for (size_t c = 0; c < NumColumns(); ++c) out[c] = columns_[c][row];
+  return out;
+}
+
+std::vector<size_t> Relation::RowsWithVisibleLabel(Label label) const {
+  std::vector<size_t> out;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (visible_labels_[r] == label) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<size_t> Relation::RowsWithTrueLabel(Label label) const {
+  std::vector<size_t> out;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (true_labels_[r] == label) out.push_back(r);
+  }
+  return out;
+}
+
+size_t Relation::CountVisible(Label label) const {
+  size_t n = 0;
+  for (Label l : visible_labels_) {
+    if (l == label) ++n;
+  }
+  return n;
+}
+
+std::string Relation::RowToString(size_t row) const {
+  std::string out;
+  for (size_t c = 0; c < NumColumns(); ++c) {
+    if (c > 0) out += ", ";
+    const AttributeDef& def = schema_->attribute(c);
+    out += def.name + "=" + FormatCell(def, columns_[c][row]);
+  }
+  out += " [";
+  out += LabelName(visible_labels_[row]);
+  out += "]";
+  return out;
+}
+
+}  // namespace rudolf

@@ -1,0 +1,90 @@
+// The transaction relation: an append-only, column-oriented table of typed
+// cells plus per-row label and score side arrays.
+//
+// Two label arrays are kept:
+//   * true labels     — the ground truth of the simulation (hidden from the
+//                       refinement algorithms; used only by metrics and by
+//                       the simulated experts' "domain knowledge");
+//   * visible labels  — what has been *reported* so far. The experiment
+//                       runner reveals visible labels as time advances.
+//
+// Each row also carries the ML risk score in [0, 1000] (Section 5).
+
+#ifndef RUDOLF_RELATION_RELATION_H_
+#define RUDOLF_RELATION_RELATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/value.h"
+#include "util/status.h"
+
+namespace rudolf {
+
+/// Convenience alias for a materialized row.
+using Tuple = std::vector<CellValue>;
+
+/// \brief Columnar, append-only transaction relation.
+class Relation {
+ public:
+  explicit Relation(std::shared_ptr<const Schema> schema);
+
+  const Schema& schema() const { return *schema_; }
+  std::shared_ptr<const Schema> shared_schema() const { return schema_; }
+
+  size_t NumRows() const { return num_rows_; }
+  size_t NumColumns() const { return columns_.size(); }
+
+  /// Appends a row. `row.size()` must equal the schema arity; categorical
+  /// cells must hold valid concept ids for their ontology.
+  Status AppendRow(const Tuple& row, Label true_label = Label::kUnlabeled,
+                   Label visible_label = Label::kUnlabeled, int score = 0);
+
+  /// Cell accessors.
+  CellValue Get(size_t row, size_t col) const { return columns_[col][row]; }
+  const std::vector<CellValue>& Column(size_t col) const { return columns_[col]; }
+
+  /// Materializes a row.
+  Tuple GetRow(size_t row) const;
+
+  Label TrueLabel(size_t row) const { return true_labels_[row]; }
+  Label VisibleLabel(size_t row) const { return visible_labels_[row]; }
+  int Score(size_t row) const { return scores_[row]; }
+
+  /// Reveals (or changes) the reported label of a row.
+  void SetVisibleLabel(size_t row, Label label) { visible_labels_[row] = label; }
+
+  /// Overwrites the ML risk score of a row (used after scorer training).
+  void SetScore(size_t row, int score) { scores_[row] = score; }
+
+  /// Overwrites one cell (used by the generator to back-fill the mirrored
+  /// risk_score attribute after scorer training). No concept validation.
+  void SetCell(size_t row, size_t col, CellValue value) {
+    columns_[col][row] = value;
+  }
+
+  /// Rows with the given visible label.
+  std::vector<size_t> RowsWithVisibleLabel(Label label) const;
+
+  /// Rows with the given true label.
+  std::vector<size_t> RowsWithTrueLabel(Label label) const;
+
+  /// Number of rows whose visible label equals `label`.
+  size_t CountVisible(Label label) const;
+
+  /// Renders row `row` as "attr=value, ..." for logs and examples.
+  std::string RowToString(size_t row) const;
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::vector<std::vector<CellValue>> columns_;
+  std::vector<Label> true_labels_;
+  std::vector<Label> visible_labels_;
+  std::vector<int> scores_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_RELATION_RELATION_H_

@@ -1,0 +1,63 @@
+#include "relation/schema.h"
+
+namespace rudolf {
+
+Status Schema::CheckNameFree(const std::string& name) const {
+  for (const auto& a : attributes_) {
+    if (a.name == name) {
+      return Status::AlreadyExists("attribute '" + name + "' already exists");
+    }
+  }
+  if (name.empty()) return Status::InvalidArgument("attribute name is empty");
+  return Status::OK();
+}
+
+Status Schema::AddNumeric(const std::string& name, NumericDisplay display) {
+  RUDOLF_RETURN_NOT_OK(CheckNameFree(name));
+  AttributeDef def;
+  def.name = name;
+  def.kind = AttrKind::kNumeric;
+  def.display = display;
+  attributes_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Status Schema::AddCategorical(const std::string& name,
+                              std::shared_ptr<const Ontology> ontology) {
+  RUDOLF_RETURN_NOT_OK(CheckNameFree(name));
+  if (ontology == nullptr) {
+    return Status::InvalidArgument("categorical attribute '" + name +
+                                   "' requires an ontology");
+  }
+  AttributeDef def;
+  def.name = name;
+  def.kind = AttrKind::kCategorical;
+  def.ontology = std::move(ontology);
+  attributes_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("attribute '" + name + "' not in schema");
+}
+
+bool Schema::EquivalentTo(const Schema& other) const {
+  if (arity() != other.arity()) return false;
+  for (size_t i = 0; i < arity(); ++i) {
+    const AttributeDef& a = attributes_[i];
+    const AttributeDef& b = other.attributes_[i];
+    if (a.name != b.name || a.kind != b.kind || a.display != b.display) return false;
+    if (a.kind == AttrKind::kCategorical) {
+      if (a.ontology->name() != b.ontology->name() ||
+          a.ontology->size() != b.ontology->size()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rudolf

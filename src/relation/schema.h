@@ -1,0 +1,71 @@
+// The universal transaction relation's schema (Section 2). Every attribute
+// domain is a partial order: numeric attributes (amount, time, score, ...)
+// carry the usual total order on int64; categorical attributes reference an
+// Ontology whose leaves are the data values.
+
+#ifndef RUDOLF_RELATION_SCHEMA_H_
+#define RUDOLF_RELATION_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace rudolf {
+
+/// Kind of an attribute's domain.
+enum class AttrKind {
+  kNumeric,      ///< totally ordered int64 (amounts, counts, scores)
+  kCategorical,  ///< concept from an Ontology (location, type, ...)
+};
+
+/// How a numeric attribute is rendered (and parsed) in text form.
+enum class NumericDisplay {
+  kPlain,  ///< plain integer
+  kClock,  ///< minutes rendered as "HH:MM"
+};
+
+/// \brief One attribute of the transaction relation.
+struct AttributeDef {
+  std::string name;
+  AttrKind kind = AttrKind::kNumeric;
+  NumericDisplay display = NumericDisplay::kPlain;  // numeric attributes only
+  std::shared_ptr<const Ontology> ontology;         // categorical attributes only
+};
+
+/// \brief Ordered list of attributes; immutable once shared with a Relation.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Appends a numeric attribute. Names must be unique.
+  Status AddNumeric(const std::string& name,
+                    NumericDisplay display = NumericDisplay::kPlain);
+
+  /// Appends a categorical attribute over the given ontology.
+  Status AddCategorical(const std::string& name,
+                        std::shared_ptr<const Ontology> ontology);
+
+  /// Number of attributes (the arity n of the paper's rules).
+  size_t arity() const { return attributes_.size(); }
+
+  const AttributeDef& attribute(size_t i) const { return attributes_[i]; }
+
+  /// Index of the attribute named `name`.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// True if both schemas have the same attribute names/kinds/displays and
+  /// (for categorical attributes) ontologies of the same name and size.
+  bool EquivalentTo(const Schema& other) const;
+
+ private:
+  Status CheckNameFree(const std::string& name) const;
+
+  std::vector<AttributeDef> attributes_;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_RELATION_SCHEMA_H_

@@ -1,0 +1,50 @@
+#include "relation/value.h"
+
+#include "util/string_util.h"
+
+namespace rudolf {
+
+const char* LabelName(Label label) {
+  switch (label) {
+    case Label::kUnlabeled:
+      return "unlabeled";
+    case Label::kFraud:
+      return "fraud";
+    case Label::kLegitimate:
+      return "legitimate";
+  }
+  return "?";
+}
+
+Result<Label> ParseLabel(const std::string& s) {
+  std::string v = ToLower(Trim(s));
+  if (v.empty() || v == "unlabeled") return Label::kUnlabeled;
+  if (v == "fraud" || v == "fraudulent") return Label::kFraud;
+  if (v == "legitimate" || v == "legit") return Label::kLegitimate;
+  return Status::ParseError("unknown label: " + s);
+}
+
+std::string FormatCell(const AttributeDef& def, CellValue value) {
+  if (def.kind == AttrKind::kCategorical) {
+    ConceptId c = static_cast<ConceptId>(value);
+    if (def.ontology != nullptr && def.ontology->IsValid(c)) {
+      return def.ontology->NameOf(c);
+    }
+    return "<invalid concept " + std::to_string(value) + ">";
+  }
+  if (def.display == NumericDisplay::kClock) return FormatClock(value);
+  return std::to_string(value);
+}
+
+Result<CellValue> ParseCell(const AttributeDef& def, const std::string& text) {
+  if (def.kind == AttrKind::kCategorical) {
+    RUDOLF_ASSIGN_OR_RETURN(ConceptId c, def.ontology->Find(std::string(Trim(text))));
+    return static_cast<CellValue>(c);
+  }
+  if (def.display == NumericDisplay::kClock) {
+    return ParseClock(text);
+  }
+  return ParseInt64(text);
+}
+
+}  // namespace rudolf

@@ -1,0 +1,44 @@
+// Cell values. Every cell of the relation is stored as an int64: numeric
+// attributes store the number itself, categorical attributes store the
+// ConceptId of a (leaf) concept. The helpers here format and parse cells
+// according to their AttributeDef.
+
+#ifndef RUDOLF_RELATION_VALUE_H_
+#define RUDOLF_RELATION_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "relation/schema.h"
+#include "util/status.h"
+
+namespace rudolf {
+
+/// Raw storage type for one cell.
+using CellValue = int64_t;
+
+/// Labels of Section 2. Unlabeled transactions are assumed legitimate until
+/// reported otherwise; the algorithms treat the three classes distinctly.
+enum class Label : uint8_t {
+  kUnlabeled = 0,
+  kFraud = 1,
+  kLegitimate = 2,
+};
+
+/// Renders a label as "fraud" / "legitimate" / "unlabeled".
+const char* LabelName(Label label);
+
+/// Parses a label name (case-insensitive; empty string means unlabeled).
+Result<Label> ParseLabel(const std::string& s);
+
+/// Formats a cell per its attribute definition: plain number, "HH:MM" clock,
+/// or concept name.
+std::string FormatCell(const AttributeDef& def, CellValue value);
+
+/// Parses a cell per its attribute definition. Categorical cells are looked
+/// up by concept name in the attribute's ontology.
+Result<CellValue> ParseCell(const AttributeDef& def, const std::string& text);
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_RELATION_VALUE_H_

@@ -1,0 +1,134 @@
+#include "rules/condition.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace rudolf {
+
+namespace {
+
+// a - b with saturation on the positive side; callers guarantee a >= b.
+int64_t SatSub(int64_t a, int64_t b) {
+  if (b >= 0 || a <= kPosInf + b) return a - b;
+  return kPosInf;
+}
+
+int64_t SatAdd(int64_t a, int64_t b) {
+  if (a > 0 && b > kPosInf - a) return kPosInf;
+  return a + b;
+}
+
+}  // namespace
+
+Interval Interval::Hull(const Interval& other) const {
+  if (Empty()) return other;
+  if (other.Empty()) return *this;
+  return {std::min(lo, other.lo), std::max(hi, other.hi)};
+}
+
+int64_t IntervalExtensionDistance(const Interval& target_iv, const Interval& rule_iv) {
+  if (target_iv.Empty()) return 0;
+  if (rule_iv.Empty()) {
+    // An empty rule interval must be replaced wholesale; its "extension" is
+    // the size of the target.
+    if (target_iv.lo == kNegInf || target_iv.hi == kPosInf) return kPosInf;
+    return SatSub(target_iv.hi, target_iv.lo);
+  }
+  int64_t below = 0;
+  if (target_iv.lo < rule_iv.lo) {
+    below = (target_iv.lo == kNegInf) ? kPosInf : SatSub(rule_iv.lo, target_iv.lo);
+  }
+  int64_t above = 0;
+  if (target_iv.hi > rule_iv.hi) {
+    above = (target_iv.hi == kPosInf) ? kPosInf : SatSub(target_iv.hi, rule_iv.hi);
+  }
+  return SatAdd(below, above);
+}
+
+Condition Condition::TrivialFor(const AttributeDef& def) {
+  if (def.kind == AttrKind::kCategorical) {
+    return MakeCategorical(def.ontology->top());
+  }
+  return MakeNumeric(Interval::All());
+}
+
+Condition Condition::MakeNumeric(const Interval& interval) {
+  Condition c;
+  c.kind_ = AttrKind::kNumeric;
+  c.interval_ = interval;
+  return c;
+}
+
+Condition Condition::MakeCategorical(ConceptId concept_id) {
+  Condition c;
+  c.kind_ = AttrKind::kCategorical;
+  c.concept_ = concept_id;
+  return c;
+}
+
+bool Condition::IsTrivial(const AttributeDef& def) const {
+  if (def.kind == AttrKind::kCategorical) {
+    return kind_ == AttrKind::kCategorical && concept_ == def.ontology->top();
+  }
+  return kind_ == AttrKind::kNumeric && interval_ == Interval::All();
+}
+
+bool Condition::Matches(const AttributeDef& def, CellValue value) const {
+  assert(kind_ == def.kind);
+  if (kind_ == AttrKind::kCategorical) {
+    return def.ontology->Contains(concept_, static_cast<ConceptId>(value));
+  }
+  return interval_.Contains(value);
+}
+
+bool Condition::ContainsCondition(const AttributeDef& def,
+                                  const Condition& other) const {
+  assert(kind_ == def.kind && other.kind_ == def.kind);
+  if (kind_ == AttrKind::kCategorical) {
+    return def.ontology->Contains(concept_, other.concept_);
+  }
+  return interval_.ContainsInterval(other.interval_);
+}
+
+int64_t Condition::DistanceTo(const AttributeDef& def, const Condition& target) const {
+  assert(kind_ == def.kind && target.kind_ == def.kind);
+  if (kind_ == AttrKind::kCategorical) {
+    return def.ontology->UpwardDistance(concept_, target.concept_);
+  }
+  return IntervalExtensionDistance(target.interval_, interval_);
+}
+
+Condition Condition::SmallestGeneralizationFor(const AttributeDef& def,
+                                               const Condition& target) const {
+  assert(kind_ == def.kind && target.kind_ == def.kind);
+  if (kind_ == AttrKind::kCategorical) {
+    return MakeCategorical(def.ontology->NearestContainer(concept_, target.concept_));
+  }
+  return MakeNumeric(interval_.Hull(target.interval_));
+}
+
+std::string Condition::ToString(const AttributeDef& def) const {
+  const std::string& a = def.name;
+  if (kind_ == AttrKind::kCategorical) {
+    ConceptId c = concept_;
+    if (def.ontology != nullptr && def.ontology->IsValid(c)) {
+      if (c == def.ontology->top()) return a + " <= T";
+      const char* op = def.ontology->IsLeaf(c) ? "=" : "<=";
+      return a + " " + op + " '" + def.ontology->NameOf(c) + "'";
+    }
+    return a + " <= <invalid>";
+  }
+  auto fmt = [&def](int64_t v) {
+    return def.display == NumericDisplay::kClock ? FormatClock(v) : std::to_string(v);
+  };
+  const Interval& iv = interval_;
+  if (iv.Empty()) return a + " in <empty>";
+  if (iv == Interval::All()) return a + " <= T";
+  if (iv.lo == iv.hi) return a + " = " + fmt(iv.lo);
+  if (iv.lo == kNegInf) return a + " <= " + fmt(iv.hi);
+  if (iv.hi == kPosInf) return a + " >= " + fmt(iv.lo);
+  return a + " in [" + fmt(iv.lo) + "," + fmt(iv.hi) + "]";
+}
+
+}  // namespace rudolf

@@ -1,0 +1,119 @@
+// Conditions — the atoms of the rule language (Section 2). A rule is a
+// conjunction with exactly one condition per attribute:
+//   * numeric attributes carry an interval condition  A ∈ [lo, hi]
+//     (the forms A = s, A ≤ s, A ≥ s, A < s, A > s are interval sugar over
+//     the discrete int64 domain);
+//   * categorical attributes carry a containment condition  A ≤ c  for a
+//     concept c of the attribute's ontology.
+// The trivial condition A ≤ ⊤ is the full interval / the ⊤ concept.
+
+#ifndef RUDOLF_RULES_CONDITION_H_
+#define RUDOLF_RULES_CONDITION_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "relation/schema.h"
+#include "relation/value.h"
+
+namespace rudolf {
+
+/// Sentinels for unbounded interval ends.
+inline constexpr int64_t kNegInf = std::numeric_limits<int64_t>::min();
+inline constexpr int64_t kPosInf = std::numeric_limits<int64_t>::max();
+
+/// \brief A closed integer interval [lo, hi]; kNegInf/kPosInf mark open ends.
+struct Interval {
+  int64_t lo = kNegInf;
+  int64_t hi = kPosInf;
+
+  static Interval All() { return {kNegInf, kPosInf}; }
+  static Interval Point(int64_t v) { return {v, v}; }
+  static Interval AtLeast(int64_t v) { return {v, kPosInf}; }
+  static Interval AtMost(int64_t v) { return {kNegInf, v}; }
+
+  bool Empty() const { return lo > hi; }
+  bool Contains(int64_t v) const { return lo <= v && v <= hi; }
+  bool ContainsInterval(const Interval& other) const {
+    if (other.Empty()) return true;
+    return lo <= other.lo && other.hi <= hi;
+  }
+
+  /// Smallest interval containing both (the hull).
+  Interval Hull(const Interval& other) const;
+
+  bool operator==(const Interval& other) const = default;
+};
+
+/// \brief Equation 1's per-attribute distance: the total size of the
+/// extension(s) needed on `rule_iv` so that it contains `target_iv`.
+///
+/// Examples from the paper: |[1,5] − [5,100]| = 4; |[1,100] − [1,5]| = 95;
+/// |[5,10] − [1,100]| = 0. Saturates instead of overflowing.
+int64_t IntervalExtensionDistance(const Interval& target_iv, const Interval& rule_iv);
+
+/// \brief One condition of a rule.
+///
+/// Carries its kind so that mismatched use against a schema is detectable.
+class Condition {
+ public:
+  /// Constructs the trivial condition for an attribute (full interval or ⊤).
+  static Condition TrivialFor(const AttributeDef& def);
+
+  /// Numeric interval condition.
+  static Condition MakeNumeric(const Interval& interval);
+
+  /// Categorical containment condition A ≤ concept.
+  static Condition MakeCategorical(ConceptId concept_id);
+
+  AttrKind kind() const { return kind_; }
+  const Interval& interval() const { return interval_; }
+  ConceptId concept_id() const { return concept_; }
+
+  /// Replaces the interval (numeric conditions only).
+  void set_interval(const Interval& iv) { interval_ = iv; }
+
+  /// Replaces the concept (categorical conditions only).
+  void set_concept(ConceptId c) { concept_ = c; }
+
+  /// True if this condition accepts every value of the attribute.
+  bool IsTrivial(const AttributeDef& def) const;
+
+  /// True if the condition accepts the cell value. For categorical
+  /// conditions this is ontology containment.
+  bool Matches(const AttributeDef& def, CellValue value) const;
+
+  /// Subsumption: true if every value accepted by `other` is accepted by
+  /// this condition (used for "rule r captures representative tuple f").
+  bool ContainsCondition(const AttributeDef& def, const Condition& other) const;
+
+  /// \brief Equation 1's per-attribute distance |f.A − r.A| where `this` is
+  /// the rule condition r.A and `target` is the representative's f.A.
+  ///
+  /// Numeric: interval extension size. Categorical: the ontological distance
+  /// (shortest upward chain from the rule's concept to one containing the
+  /// target's concept).
+  int64_t DistanceTo(const AttributeDef& def, const Condition& target) const;
+
+  /// \brief The smallest generalization of this condition containing
+  /// `target` (line 9 of Algorithm 1): the interval hull, or the nearest
+  /// containing ancestor in the ontology.
+  Condition SmallestGeneralizationFor(const AttributeDef& def,
+                                      const Condition& target) const;
+
+  /// Renders as e.g. "amount >= 110", "time in [18:00,18:05]",
+  /// "type <= 'Online, no CCV'". Trivial conditions render as "<attr> <= T".
+  std::string ToString(const AttributeDef& def) const;
+
+  bool operator==(const Condition& other) const = default;
+
+ private:
+  AttrKind kind_ = AttrKind::kNumeric;
+  Interval interval_ = Interval::All();
+  ConceptId concept_ = 0;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_RULES_CONDITION_H_

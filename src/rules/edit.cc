@@ -1,0 +1,68 @@
+#include "rules/edit.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace rudolf {
+
+const char* EditKindName(EditKind kind) {
+  switch (kind) {
+    case EditKind::kModifyCondition:
+      return "modify-condition";
+    case EditKind::kAddRule:
+      return "add-rule";
+    case EditKind::kRemoveRule:
+      return "remove-rule";
+    case EditKind::kSplitRule:
+      return "split-rule";
+  }
+  return "?";
+}
+
+void EditLog::Record(Edit edit) {
+  total_cost_ += edit.cost;
+  edits_.push_back(std::move(edit));
+}
+
+size_t EditLog::NumUpdates() const {
+  size_t ungrouped = 0;
+  std::vector<uint64_t> groups;
+  for (const Edit& e : edits_) {
+    if (e.group == 0) {
+      ++ungrouped;
+    } else {
+      groups.push_back(e.group);
+    }
+  }
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  return ungrouped + groups.size();
+}
+
+size_t EditLog::CountKind(EditKind kind) const {
+  size_t n = 0;
+  for (const Edit& e : edits_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+size_t EditLog::CountSource(EditSource source) const {
+  size_t n = 0;
+  for (const Edit& e : edits_) {
+    if (e.source == source) ++n;
+  }
+  return n;
+}
+
+double EditLog::FractionKind(EditKind kind) const {
+  if (edits_.empty()) return 0.0;
+  return static_cast<double>(CountKind(kind)) / static_cast<double>(edits_.size());
+}
+
+void EditLog::Reset() {
+  edits_.clear();
+  total_cost_ = 0.0;
+}
+
+}  // namespace rudolf

@@ -1,0 +1,86 @@
+// The modification log. Every change the system or the expert makes to the
+// rule set is recorded as an Edit with a cost; Figure 3(a)/(d) plot the
+// cumulative number of such edits, and the in-text "75% condition
+// refinements, 20% rule splits, 5% rule additions" breakdown is the
+// kind-histogram of this log.
+
+#ifndef RUDOLF_RULES_EDIT_H_
+#define RUDOLF_RULES_EDIT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rules/rule.h"
+
+namespace rudolf {
+
+/// What kind of modification was applied (Section 2, "Cost and Benefit").
+enum class EditKind {
+  kModifyCondition,  ///< a condition of an existing rule changed
+  kAddRule,          ///< a brand-new rule was added
+  kRemoveRule,       ///< an existing rule was removed
+  kSplitRule,        ///< a rule was copied & specialized into 2+ rules
+};
+
+/// Who initiated the modification.
+enum class EditSource {
+  kSystem,  ///< proposed by RUDOLF and accepted
+  kExpert,  ///< authored or adjusted by the (simulated) expert
+};
+
+const char* EditKindName(EditKind kind);
+
+/// \brief One recorded modification.
+struct Edit {
+  EditKind kind = EditKind::kModifyCondition;
+  EditSource source = EditSource::kSystem;
+  RuleId rule = kInvalidRule;     ///< the rule affected (first rule for splits)
+  size_t attribute = 0;           ///< attribute index for kModifyCondition
+  double cost = 1.0;              ///< update cost charged for this edit
+  /// Edits applied as one logical *rule update* (e.g. the per-attribute
+  /// condition changes of one accepted proposal) share a group id obtained
+  /// from EditLog::NewGroup(). 0 = its own singleton update.
+  uint64_t group = 0;
+  std::string note;               ///< human-readable description
+};
+
+/// \brief Append-only log of modifications with cumulative accounting.
+class EditLog {
+ public:
+  void Record(Edit edit);
+
+  size_t size() const { return edits_.size(); }
+  const Edit& edit(size_t i) const { return edits_[i]; }
+
+  /// Sum of edit costs (the cost(M) term of Definition 3.1).
+  double TotalCost() const { return total_cost_; }
+
+  /// Allocates a fresh group id for a multi-edit rule update.
+  uint64_t NewGroup() { return ++next_group_; }
+
+  /// Number of logical rule updates: distinct groups plus ungrouped edits
+  /// (the unit Figure 3(a)/(d) plot).
+  size_t NumUpdates() const;
+
+  /// Number of edits of the given kind.
+  size_t CountKind(EditKind kind) const;
+
+  /// Number of edits from the given source.
+  size_t CountSource(EditSource source) const;
+
+  /// Fraction of edits of the given kind (0 when the log is empty).
+  double FractionKind(EditKind kind) const;
+
+  /// Clears the log.
+  void Reset();
+
+ private:
+  std::vector<Edit> edits_;
+  double total_cost_ = 0.0;
+  uint64_t next_group_ = 0;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_RULES_EDIT_H_

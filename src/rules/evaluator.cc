@@ -1,0 +1,130 @@
+#include "rules/evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rudolf {
+
+RuleEvaluator::RuleEvaluator(const Relation& relation, size_t prefix_rows)
+    : relation_(relation), num_rows_(std::min(prefix_rows, relation.NumRows())) {}
+
+const std::vector<uint8_t>& RuleEvaluator::ConceptMask(const Ontology* ontology,
+                                                       ConceptId concept_id) const {
+  for (const auto& entry : mask_cache_) {
+    if (entry.first.first == ontology && entry.first.second == concept_id) {
+      return entry.second;
+    }
+  }
+  std::vector<uint8_t> mask(ontology->size(), 0);
+  for (ConceptId c = 0; c < ontology->size(); ++c) {
+    mask[c] = ontology->Contains(concept_id, c) ? 1 : 0;
+  }
+  mask_cache_.emplace_back(std::make_pair(ontology, concept_id), std::move(mask));
+  return mask_cache_.back().second;
+}
+
+Bitset RuleEvaluator::EvalRule(const Rule& rule) const {
+  assert(rule.arity() == relation_.schema().arity());
+  const Schema& schema = relation_.schema();
+  // Most rules are selective conjunctions: evaluate the first non-trivial
+  // condition over the full column, then filter the (usually short)
+  // surviving row list through the remaining conditions instead of paying a
+  // full column pass per condition.
+  std::vector<size_t> conditions;
+  for (size_t i = 0; i < rule.arity(); ++i) {
+    if (!rule.condition(i).IsTrivial(schema.attribute(i))) conditions.push_back(i);
+  }
+  Bitset out(num_rows_);
+  if (conditions.empty()) {
+    out.Fill(true);
+    return out;
+  }
+
+  // First condition: dense scan.
+  std::vector<size_t> survivors;
+  {
+    size_t attr = conditions[0];
+    const Condition& cond = rule.condition(attr);
+    const std::vector<CellValue>& col = relation_.Column(attr);
+    if (cond.kind() == AttrKind::kCategorical) {
+      const std::vector<uint8_t>& mask =
+          ConceptMask(schema.attribute(attr).ontology.get(), cond.concept_id());
+      for (size_t r = 0; r < num_rows_; ++r) {
+        if (mask[static_cast<size_t>(col[r])]) survivors.push_back(r);
+      }
+    } else {
+      const Interval iv = cond.interval();
+      for (size_t r = 0; r < num_rows_; ++r) {
+        if (iv.lo <= col[r] && col[r] <= iv.hi) survivors.push_back(r);
+      }
+    }
+  }
+  // Remaining conditions: filter the survivor list.
+  for (size_t c = 1; c < conditions.size() && !survivors.empty(); ++c) {
+    size_t attr = conditions[c];
+    const Condition& cond = rule.condition(attr);
+    const std::vector<CellValue>& col = relation_.Column(attr);
+    size_t kept = 0;
+    if (cond.kind() == AttrKind::kCategorical) {
+      const std::vector<uint8_t>& mask =
+          ConceptMask(schema.attribute(attr).ontology.get(), cond.concept_id());
+      for (size_t r : survivors) {
+        if (mask[static_cast<size_t>(col[r])]) survivors[kept++] = r;
+      }
+    } else {
+      const Interval iv = cond.interval();
+      for (size_t r : survivors) {
+        if (iv.lo <= col[r] && col[r] <= iv.hi) survivors[kept++] = r;
+      }
+    }
+    survivors.resize(kept);
+  }
+  for (size_t r : survivors) out.Set(r);
+  return out;
+}
+
+Bitset RuleEvaluator::EvalRuleSet(const RuleSet& rules) const {
+  Bitset out(num_rows_);
+  for (RuleId id : rules.LiveIds()) {
+    out |= EvalRule(rules.Get(id));
+  }
+  return out;
+}
+
+namespace {
+
+LabelCounts CountLabels(const Bitset& captured, const Relation& relation,
+                        bool visible) {
+  LabelCounts counts;
+  captured.ForEach([&](size_t row) {
+    Label l = visible ? relation.VisibleLabel(row) : relation.TrueLabel(row);
+    switch (l) {
+      case Label::kFraud:
+        ++counts.fraud;
+        break;
+      case Label::kLegitimate:
+        ++counts.legitimate;
+        break;
+      case Label::kUnlabeled:
+        ++counts.unlabeled;
+        break;
+    }
+  });
+  return counts;
+}
+
+}  // namespace
+
+LabelCounts RuleEvaluator::CountsVisible(const Bitset& captured) const {
+  return CountLabels(captured, relation_, /*visible=*/true);
+}
+
+LabelCounts RuleEvaluator::CountsTrue(const Bitset& captured) const {
+  return CountLabels(captured, relation_, /*visible=*/false);
+}
+
+LabelCounts RuleEvaluator::RuleCountsVisible(const Rule& rule) const {
+  return CountsVisible(EvalRule(rule));
+}
+
+}  // namespace rudolf

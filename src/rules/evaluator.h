@@ -1,0 +1,75 @@
+// Columnar evaluation of rules over the transaction relation. Produces
+// capture bitmaps (one bit per row) and label-partitioned counts — the raw
+// material of the benefit term α·ΔF + β·ΔL + γ·ΔR.
+
+#ifndef RUDOLF_RULES_EVALUATOR_H_
+#define RUDOLF_RULES_EVALUATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "relation/relation.h"
+#include "rules/rule_set.h"
+#include "util/bitset.h"
+
+namespace rudolf {
+
+/// Number of captured rows per label class.
+struct LabelCounts {
+  size_t fraud = 0;
+  size_t legitimate = 0;
+  size_t unlabeled = 0;
+
+  size_t total() const { return fraud + legitimate + unlabeled; }
+  bool operator==(const LabelCounts&) const = default;
+};
+
+/// \brief Evaluates rules over one relation.
+///
+/// The evaluator is bound to a relation snapshot (row count fixed at
+/// construction); it pre-extracts label arrays so counting is branch-light.
+/// Categorical conditions are evaluated through per-concept membership masks
+/// computed once per (ontology, concept) pair and memoized.
+class RuleEvaluator {
+ public:
+  /// Binds to the first `prefix_rows` rows of `relation` (SIZE_MAX = all
+  /// rows at construction time). The relation must outlive the evaluator;
+  /// rows appended later are outside the prefix and are ignored.
+  explicit RuleEvaluator(const Relation& relation,
+                         size_t prefix_rows = static_cast<size_t>(-1));
+
+  const Relation& relation() const { return relation_; }
+  size_t num_rows() const { return num_rows_; }
+
+  /// Rows captured by a single rule.
+  Bitset EvalRule(const Rule& rule) const;
+
+  /// Rows captured by the union of all live rules.
+  Bitset EvalRuleSet(const RuleSet& rules) const;
+
+  /// Label-partitioned count of the rows in `captured`, using visible labels.
+  LabelCounts CountsVisible(const Bitset& captured) const;
+
+  /// Label-partitioned count of the rows in `captured`, using true labels.
+  LabelCounts CountsTrue(const Bitset& captured) const;
+
+  /// Convenience: counts of a rule's captures under visible labels.
+  LabelCounts RuleCountsVisible(const Rule& rule) const;
+
+ private:
+  // Membership mask for "value's concept is contained in `concept`" within
+  // `ontology`: mask[v] != 0 iff Contains(concept, v).
+  const std::vector<uint8_t>& ConceptMask(const Ontology* ontology,
+                                          ConceptId concept_id) const;
+
+  const Relation& relation_;
+  size_t num_rows_;
+  // Memoized concept masks keyed by (ontology pointer, concept id).
+  mutable std::vector<std::pair<std::pair<const Ontology*, ConceptId>,
+                                std::vector<uint8_t>>>
+      mask_cache_;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_RULES_EVALUATOR_H_

@@ -1,0 +1,30 @@
+// Text form of rules. The grammar matches the printer in Rule::ToString:
+//
+//   rule  := cond ("&&" cond)*           (also accepts "AND"/"and")
+//   cond  := attr op value
+//          | attr "in" "[" value "," value "]"
+//   op    := "=" | "<=" | ">=" | "<" | ">"
+//   value := integer | HH:MM clock (for kClock attributes)
+//          | 'single-' or "double-quoted" concept name | T (the top element)
+//
+// Strict < and > are desugared over the discrete domain (< v ≡ ≤ v−1).
+// For categorical attributes both "=" and "<=" denote containment A ≤ c;
+// on a leaf concept they coincide with equality. "TRUE" parses to the
+// all-trivial rule.
+
+#ifndef RUDOLF_RULES_PARSER_H_
+#define RUDOLF_RULES_PARSER_H_
+
+#include <string>
+
+#include "rules/rule.h"
+#include "util/status.h"
+
+namespace rudolf {
+
+/// Parses one rule against the schema.
+Result<Rule> ParseRule(const Schema& schema, const std::string& text);
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_RULES_PARSER_H_

@@ -1,0 +1,132 @@
+#include "rules/rule.h"
+
+#include <cassert>
+
+namespace rudolf {
+
+Rule Rule::Trivial(const Schema& schema) {
+  Rule r;
+  r.conditions_.reserve(schema.arity());
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    r.conditions_.push_back(Condition::TrivialFor(schema.attribute(i)));
+  }
+  return r;
+}
+
+Rule Rule::Exactly(const Schema& schema, const Tuple& tuple) {
+  assert(tuple.size() == schema.arity());
+  Rule r;
+  r.conditions_.reserve(schema.arity());
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    const AttributeDef& def = schema.attribute(i);
+    if (def.kind == AttrKind::kCategorical) {
+      r.conditions_.push_back(
+          Condition::MakeCategorical(static_cast<ConceptId>(tuple[i])));
+    } else {
+      r.conditions_.push_back(Condition::MakeNumeric(Interval::Point(tuple[i])));
+    }
+  }
+  return r;
+}
+
+bool Rule::MatchesTuple(const Schema& schema, const Tuple& tuple) const {
+  assert(tuple.size() == arity());
+  for (size_t i = 0; i < arity(); ++i) {
+    if (!conditions_[i].Matches(schema.attribute(i), tuple[i])) return false;
+  }
+  return true;
+}
+
+bool Rule::MatchesRow(const Relation& relation, size_t row) const {
+  const Schema& schema = relation.schema();
+  assert(schema.arity() == arity());
+  for (size_t i = 0; i < arity(); ++i) {
+    if (!conditions_[i].Matches(schema.attribute(i), relation.Get(row, i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Rule::ContainsRule(const Schema& schema, const Rule& other) const {
+  assert(arity() == other.arity());
+  for (size_t i = 0; i < arity(); ++i) {
+    if (!conditions_[i].ContainsCondition(schema.attribute(i),
+                                          other.conditions_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t Rule::DistanceTo(const Schema& schema, const Rule& target) const {
+  assert(arity() == target.arity());
+  int64_t total = 0;
+  for (size_t i = 0; i < arity(); ++i) {
+    int64_t d = conditions_[i].DistanceTo(schema.attribute(i), target.conditions_[i]);
+    if (d >= kPosInf - total) return kPosInf;
+    total += d;
+  }
+  return total;
+}
+
+double Rule::WeightedDistanceTo(const Schema& schema, const Rule& target,
+                                const std::vector<double>& weights) const {
+  assert(weights.size() == arity());
+  double total = 0;
+  for (size_t i = 0; i < arity(); ++i) {
+    int64_t d = conditions_[i].DistanceTo(schema.attribute(i), target.conditions_[i]);
+    total += weights[i] * static_cast<double>(d);
+  }
+  return total;
+}
+
+Rule Rule::SmallestGeneralizationFor(const Schema& schema, const Rule& target) const {
+  assert(arity() == target.arity());
+  Rule out = *this;
+  for (size_t i = 0; i < arity(); ++i) {
+    const AttributeDef& def = schema.attribute(i);
+    if (!conditions_[i].ContainsCondition(def, target.conditions_[i])) {
+      out.conditions_[i] =
+          conditions_[i].SmallestGeneralizationFor(def, target.conditions_[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> Rule::DiffAttributes(const Rule& other) const {
+  assert(arity() == other.arity());
+  std::vector<size_t> out;
+  for (size_t i = 0; i < arity(); ++i) {
+    if (!(conditions_[i] == other.conditions_[i])) out.push_back(i);
+  }
+  return out;
+}
+
+bool Rule::HasEmptyCondition() const {
+  for (const Condition& c : conditions_) {
+    if (c.kind() == AttrKind::kNumeric && c.interval().Empty()) return true;
+  }
+  return false;
+}
+
+size_t Rule::NumNonTrivial(const Schema& schema) const {
+  size_t n = 0;
+  for (size_t i = 0; i < arity(); ++i) {
+    if (!conditions_[i].IsTrivial(schema.attribute(i))) ++n;
+  }
+  return n;
+}
+
+std::string Rule::ToString(const Schema& schema) const {
+  std::string out;
+  for (size_t i = 0; i < arity(); ++i) {
+    if (conditions_[i].IsTrivial(schema.attribute(i))) continue;
+    if (!out.empty()) out += " && ";
+    out += conditions_[i].ToString(schema.attribute(i));
+  }
+  if (out.empty()) return "TRUE";
+  return out;
+}
+
+}  // namespace rudolf

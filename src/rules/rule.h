@@ -1,0 +1,86 @@
+// A rule (Section 2): a conjunction of one condition per attribute of the
+// transaction relation. A representative tuple (Section 4.1) has exactly the
+// same shape — a per-attribute interval/concept — so it is also a Rule; "rule
+// r captures representative f" is the subsumption Rule::ContainsRule.
+
+#ifndef RUDOLF_RULES_RULE_H_
+#define RUDOLF_RULES_RULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/relation.h"
+#include "rules/condition.h"
+
+namespace rudolf {
+
+/// Stable identifier of a rule within a RuleSet.
+using RuleId = uint32_t;
+
+/// Sentinel for "no rule".
+inline constexpr RuleId kInvalidRule = static_cast<RuleId>(-1);
+
+/// \brief One conjunctive rule over a fixed schema.
+class Rule {
+ public:
+  Rule() = default;
+
+  /// The all-trivial rule (captures everything) for a schema.
+  static Rule Trivial(const Schema& schema);
+
+  /// The most specific rule capturing exactly one tuple: point intervals and
+  /// the tuple's own concepts (line 18 of Algorithm 1).
+  static Rule Exactly(const Schema& schema, const Tuple& tuple);
+
+  size_t arity() const { return conditions_.size(); }
+
+  const Condition& condition(size_t attr) const { return conditions_[attr]; }
+  Condition* mutable_condition(size_t attr) { return &conditions_[attr]; }
+  void set_condition(size_t attr, const Condition& c) { conditions_[attr] = c; }
+
+  /// True if the rule accepts the given materialized tuple.
+  bool MatchesTuple(const Schema& schema, const Tuple& tuple) const;
+
+  /// True if the rule accepts row `row` of the relation.
+  bool MatchesRow(const Relation& relation, size_t row) const;
+
+  /// Subsumption: every tuple (or representative) accepted by `other` is
+  /// accepted by this rule.
+  bool ContainsRule(const Schema& schema, const Rule& other) const;
+
+  /// \brief Equation 1: Σ_i |f.A_i − r.A_i| where `this` is r and `target`
+  /// is the representative tuple f. Saturates at kPosInf.
+  int64_t DistanceTo(const Schema& schema, const Rule& target) const;
+
+  /// \brief Equation 1 with per-attribute weights (the paper's "more
+  /// sophisticated cost model" future-work extension). `weights` must have
+  /// one entry per attribute.
+  double WeightedDistanceTo(const Schema& schema, const Rule& target,
+                            const std::vector<double>& weights) const;
+
+  /// The minimal generalization r' of this rule with ContainsRule(target)
+  /// (line 9 of Algorithm 1): per-attribute hulls / nearest containers.
+  Rule SmallestGeneralizationFor(const Schema& schema, const Rule& target) const;
+
+  /// Attributes on which this rule differs from `other`.
+  std::vector<size_t> DiffAttributes(const Rule& other) const;
+
+  /// True if some numeric condition has an empty interval (captures nothing).
+  bool HasEmptyCondition() const;
+
+  /// Number of non-trivial conditions.
+  size_t NumNonTrivial(const Schema& schema) const;
+
+  /// Renders non-trivial conditions joined by " && "; "TRUE" if all trivial.
+  std::string ToString(const Schema& schema) const;
+
+  bool operator==(const Rule& other) const = default;
+
+ private:
+  std::vector<Condition> conditions_;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_RULES_RULE_H_

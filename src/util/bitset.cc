@@ -1,0 +1,107 @@
+#include "util/bitset.h"
+
+#include <cassert>
+
+namespace rudolf {
+
+Bitset::Bitset(size_t size, bool value)
+    : size_(size), words_((size + 63) / 64, value ? ~uint64_t{0} : 0) {
+  if (value) ClearPadding();
+}
+
+void Bitset::ClearPadding() {
+  size_t tail = size_ % 64;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+}
+
+void Bitset::Set(size_t i) {
+  assert(i < size_);
+  words_[i / 64] |= uint64_t{1} << (i % 64);
+}
+
+void Bitset::Clear(size_t i) {
+  assert(i < size_);
+  words_[i / 64] &= ~(uint64_t{1} << (i % 64));
+}
+
+bool Bitset::Test(size_t i) const {
+  assert(i < size_);
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void Bitset::Fill(bool value) {
+  for (auto& w : words_) w = value ? ~uint64_t{0} : 0;
+  if (value) ClearPadding();
+}
+
+size_t Bitset::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+size_t Bitset::CountPrefix(size_t prefix) const {
+  if (prefix > size_) prefix = size_;
+  size_t full = prefix / 64;
+  size_t n = 0;
+  for (size_t i = 0; i < full; ++i) {
+    n += static_cast<size_t>(__builtin_popcountll(words_[i]));
+  }
+  size_t tail = prefix % 64;
+  if (tail != 0) {
+    uint64_t mask = (uint64_t{1} << tail) - 1;
+    n += static_cast<size_t>(__builtin_popcountll(words_[full] & mask));
+  }
+  return n;
+}
+
+Bitset& Bitset::operator|=(const Bitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator&=(const Bitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::Subtract(const Bitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+bool Bitset::operator==(const Bitset& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+size_t Bitset::IntersectCount(const Bitset& other) const {
+  assert(size_ == other.size_);
+  size_t n = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
+  }
+  return n;
+}
+
+size_t Bitset::DifferenceCount(const Bitset& other) const {
+  assert(size_ == other.size_);
+  size_t n = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<size_t>(__builtin_popcountll(words_[i] & ~other.words_[i]));
+  }
+  return n;
+}
+
+std::vector<size_t> Bitset::ToIndices() const {
+  std::vector<size_t> out;
+  out.reserve(Count());
+  ForEach([&out](size_t i) { out.push_back(i); });
+  return out;
+}
+
+}  // namespace rudolf

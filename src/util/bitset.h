@@ -1,0 +1,84 @@
+// A dense, dynamically sized bitset used for rule capture sets. Rule
+// evaluation over the transaction relation produces one Bitset per rule;
+// unions, intersections and label-partitioned popcounts are the hot
+// operations of the cost model.
+
+#ifndef RUDOLF_UTIL_BITSET_H_
+#define RUDOLF_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rudolf {
+
+/// \brief Fixed-universe dense bitset over row indices [0, size).
+class Bitset {
+ public:
+  Bitset() = default;
+
+  /// Creates a bitset over `size` bits, all clear (or all set).
+  explicit Bitset(size_t size, bool value = false);
+
+  size_t size() const { return size_; }
+
+  void Set(size_t i);
+  void Clear(size_t i);
+  bool Test(size_t i) const;
+
+  /// Sets every bit to `value`.
+  void Fill(bool value);
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// Number of set bits among the first `prefix` bits.
+  size_t CountPrefix(size_t prefix) const;
+
+  bool Any() const { return Count() > 0; }
+  bool None() const { return Count() == 0; }
+
+  /// In-place union; `other` must have the same size.
+  Bitset& operator|=(const Bitset& other);
+  /// In-place intersection; `other` must have the same size.
+  Bitset& operator&=(const Bitset& other);
+  /// In-place difference (this & ~other); `other` must have the same size.
+  Bitset& Subtract(const Bitset& other);
+
+  friend Bitset operator|(Bitset a, const Bitset& b) { return a |= b; }
+  friend Bitset operator&(Bitset a, const Bitset& b) { return a &= b; }
+
+  bool operator==(const Bitset& other) const;
+
+  /// |this & other| without materializing the intersection.
+  size_t IntersectCount(const Bitset& other) const;
+
+  /// |this & ~other| without materializing the difference.
+  size_t DifferenceCount(const Bitset& other) const;
+
+  /// Calls fn(index) for every set bit in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Returns the indices of all set bits.
+  std::vector<size_t> ToIndices() const;
+
+ private:
+  void ClearPadding();
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_UTIL_BITSET_H_

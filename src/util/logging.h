@@ -1,0 +1,47 @@
+// Minimal leveled logging to stderr. Quiet by default so benches and tests
+// stay clean; examples raise the level to narrate sessions.
+
+#ifndef RUDOLF_UTIL_LOGGING_H_
+#define RUDOLF_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rudolf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define RUDOLF_LOG(level)                                              \
+  ::rudolf::internal::LogMessage(::rudolf::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_UTIL_LOGGING_H_

@@ -1,0 +1,158 @@
+// Arrow/RocksDB-style Status and Result<T> error handling. The library does
+// not use exceptions; every fallible operation returns a Status or Result.
+
+#ifndef RUDOLF_UTIL_STATUS_H_
+#define RUDOLF_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rudolf {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIOError,
+  kParseError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of a fallible operation that produces no value.
+///
+/// A Status is cheap to copy when OK (no allocation) and carries a message
+/// otherwise. Use the factory functions (Status::InvalidArgument etc.) to
+/// construct failures and RUDOLF_RETURN_NOT_OK to propagate them.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders as "Code: message" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or a failure Status.
+///
+/// Mirrors arrow::Result. Access the value only after checking ok();
+/// ValueOrDie() asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the failure status, or OK if this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie called on errored Result");
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok() && "ValueOrDie called on errored Result");
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok() && "ValueOrDie called on errored Result");
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Returns the value or a fallback when errored.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK Status from the current function.
+#define RUDOLF_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::rudolf::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+#define RUDOLF_CONCAT_IMPL(x, y) x##y
+#define RUDOLF_CONCAT(x, y) RUDOLF_CONCAT_IMPL(x, y)
+
+/// Assigns the value of a Result expression to `lhs`, propagating failure.
+#define RUDOLF_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  RUDOLF_ASSIGN_OR_RETURN_IMPL(RUDOLF_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define RUDOLF_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie();
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_UTIL_STATUS_H_

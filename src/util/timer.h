@@ -1,0 +1,34 @@
+// Wall-clock stopwatch used by the experiment runner to report proposal
+// latencies (the paper's "at most one second" in-text measurement).
+
+#ifndef RUDOLF_UTIL_TIMER_H_
+#define RUDOLF_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace rudolf {
+
+/// \brief Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_UTIL_TIMER_H_

@@ -1,0 +1,40 @@
+// Synthesizes the "yesterday" rule set: the rules a financial institute's
+// experts would have written for the *initially active* attack patterns,
+// with realistic staleness — slightly-off thresholds, windows clipped to the
+// observed bursts, and venue-leaf conditions where the true pattern covers a
+// whole category (the paper's "Gas Station A" vs "Gas Station" story). The
+// refinement experiments start from this set.
+
+#ifndef RUDOLF_WORKLOAD_INITIAL_RULES_H_
+#define RUDOLF_WORKLOAD_INITIAL_RULES_H_
+
+#include "rules/rule_set.h"
+#include "util/random.h"
+#include "workload/generator.h"
+
+namespace rudolf {
+
+/// Staleness knobs.
+struct InitialRuleOptions {
+  /// Added to the pattern's amount lower bound (experts wrote the rule from
+  /// the early, higher-value instances of the attack).
+  int64_t amount_slack = 5;
+  /// Minutes shaved off each side of the true clock window.
+  int64_t window_shrink = 3;
+  /// Probability that a category-level location/type constraint is written
+  /// as one specific leaf instead (needs semantic generalization later).
+  double leaf_specialization_prob = 0.7;
+  /// Number of obsolete rules (for attacks that ended before the stream)
+  /// appended to the set; they capture stray traffic and must be specialized
+  /// away or left inert.
+  int obsolete_rules = 1;
+  uint64_t seed = 99;
+};
+
+/// Builds the initial rule set from the dataset's initially-active patterns.
+RuleSet SynthesizeInitialRules(const Dataset& dataset,
+                               const InitialRuleOptions& options = {});
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_WORKLOAD_INITIAL_RULES_H_

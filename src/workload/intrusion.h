@@ -1,0 +1,109 @@
+// A second domain built on the same machinery: network-flow intrusion
+// detection (Section 1: RUDOLF applies to "preventing network attacks …
+// intrusion detection"). Provides protocol and address-space ontologies, a
+// flow schema (hour, port, kbytes, packets, protocol, src, dst), drifting
+// intrusion campaigns (port scans, exfiltration, brute force), and a
+// generator mirroring workload/generator.h. The network_intrusion example
+// and the generality tests run the unchanged refinement engines on it.
+
+#ifndef RUDOLF_WORKLOAD_INTRUSION_H_
+#define RUDOLF_WORKLOAD_INTRUSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "relation/relation.h"
+#include "rules/rule_set.h"
+#include "util/random.h"
+
+namespace rudolf {
+
+/// Attribute indices of the flow schema.
+struct FlowSchemaLayout {
+  size_t hour = 0;      ///< hour of day, 0..23
+  size_t port = 1;      ///< destination port
+  size_t kbytes = 2;    ///< payload volume
+  size_t packets = 3;   ///< packet count
+  size_t protocol = 4;  ///< protocol ontology
+  size_t src = 5;       ///< source address-space ontology
+  size_t dst = 6;       ///< destination address-space ontology
+};
+
+/// Schema plus the ontologies backing its categorical attributes.
+struct FlowSchema {
+  std::shared_ptr<const Schema> schema;
+  std::shared_ptr<const Ontology> protocol_ontology;
+  std::shared_ptr<const Ontology> address_ontology;
+  FlowSchemaLayout layout;
+};
+
+/// \brief Protocol DAG: ⊤ → {TCP, UDP, Encrypted, Plaintext} with leaves
+/// (HTTP, HTTPS, SSH, FTP, DNS, NTP, SNMP) under both a transport and a
+/// confidentiality parent — the same two-dimensional structure as the
+/// paper's transaction-type DAG.
+std::unique_ptr<Ontology> BuildProtocolOntology();
+
+/// \brief Address-space DAG: ⊤ → {Internal → {DMZ, Office, Servers},
+/// External → {Partner, Cloud, KnownBotnet}} with /24 leaves.
+std::unique_ptr<Ontology> BuildAddressOntology(int subnets_per_zone = 3);
+
+/// Builds the flow schema over fresh ontologies.
+FlowSchema MakeFlowSchema(int subnets_per_zone = 3);
+
+/// \brief One intrusion campaign: the conjunction its flows satisfy plus
+/// its activity span over the stream.
+struct IntrusionCampaign {
+  std::string name;
+  Interval hour_window{0, 23};
+  Interval port_range{0, 65535};
+  Interval kbytes_range{0, kPosInf};
+  Interval packets_range{0, kPosInf};
+  ConceptId protocol = 0;
+  ConceptId src = 0;
+  ConceptId dst = 0;
+  double start_frac = 0.0;
+  double end_frac = 1.0;
+  double weight = 1.0;
+
+  bool ActiveAt(double frac) const { return start_frac <= frac && frac < end_frac; }
+
+  /// The campaign's exact rule.
+  Rule ToRule(const FlowSchema& fs) const;
+
+  /// True if the flow tuple satisfies the campaign's conjunction.
+  bool Matches(const FlowSchema& fs, const Tuple& tuple) const;
+};
+
+/// Generator knobs.
+struct IntrusionOptions {
+  size_t num_flows = 20000;
+  double intrusion_fraction = 0.02;
+  int num_campaigns = 5;
+  int initially_active = 2;
+  double label_coverage = 0.95;
+  double missed_report_fraction = 0.05;  ///< intrusions reported benign
+  double false_alarm_fraction = 0.002;   ///< benign flows reported malicious
+  uint64_t seed = 17;
+};
+
+/// \brief A generated flow stream with ground truth.
+struct IntrusionDataset {
+  FlowSchema fs;
+  std::shared_ptr<Relation> relation;
+  std::vector<IntrusionCampaign> campaigns;
+  IntrusionOptions options;
+};
+
+/// Generates the stream (arrival order; visible labels revealed for the
+/// first `label_prefix_frac` of rows using the option's noise rates).
+IntrusionDataset GenerateIntrusionDataset(const IntrusionOptions& options,
+                                          double label_prefix_frac = 0.5);
+
+/// Stale IDS seed rules derived from the initially-active campaigns (the
+/// analogue of SynthesizeInitialRules).
+RuleSet SynthesizeInitialIdsRules(const IntrusionDataset& dataset,
+                                  uint64_t seed = 99);
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_WORKLOAD_INTRUSION_H_

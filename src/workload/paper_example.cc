@@ -1,0 +1,101 @@
+#include "workload/paper_example.h"
+
+#include <cassert>
+
+#include "ontology/builders.h"
+#include "relation/builder.h"
+#include "rules/parser.h"
+
+namespace rudolf {
+
+namespace {
+
+std::unique_ptr<Ontology> BuildPaperLocationOntology() {
+  auto o = std::make_unique<Ontology>("location", "World");
+  ConceptId top = o->top();
+  auto online = o->AddConcept("Online Store", top);
+  auto super = o->AddConcept("Supermarket", top);
+  auto gas = o->AddConcept("Gas Station", top);
+  assert(online.ok() && super.ok() && gas.ok());
+  auto a = o->AddConcept("GAS Station A", gas.ValueOrDie());
+  auto b = o->AddConcept("GAS Station B", gas.ValueOrDie());
+  assert(a.ok() && b.ok());
+  (void)online;
+  (void)super;
+  (void)a;
+  (void)b;
+  return o;
+}
+
+}  // namespace
+
+PaperExample MakePaperExample() {
+  PaperExample ex;
+  ex.type_ontology = BuildTransactionTypeOntology();
+  ex.location_ontology = BuildPaperLocationOntology();
+
+  auto schema = std::make_shared<Schema>();
+  Status st;
+  st = schema->AddNumeric("time", NumericDisplay::kClock);
+  assert(st.ok());
+  st = schema->AddNumeric("amount");
+  assert(st.ok());
+  st = schema->AddCategorical("type", ex.type_ontology);
+  assert(st.ok());
+  st = schema->AddCategorical("location", ex.location_ontology);
+  assert(st.ok());
+  (void)st;
+  ex.schema = schema;
+
+  ex.relation = std::make_shared<Relation>(schema);
+  struct RowSpec {
+    const char* time;
+    int64_t amount;
+    const char* type;
+    const char* location;
+    Label label;
+  };
+  const RowSpec rows[] = {
+      {"18:02", 107, "Online, no CCV", "Online Store", Label::kFraud},
+      {"18:03", 106, "Online, no CCV", "Online Store", Label::kFraud},
+      {"18:04", 112, "Online, with CCV", "Online Store", Label::kUnlabeled},
+      {"19:08", 114, "Online, no CCV", "Online Store", Label::kFraud},
+      {"19:10", 117, "Online, with CCV", "Online Store", Label::kUnlabeled},
+      {"20:53", 46, "Offline, without PIN", "GAS Station B", Label::kFraud},
+      {"20:54", 48, "Offline, without PIN", "GAS Station B", Label::kFraud},
+      {"20:55", 44, "Offline, without PIN", "GAS Station B", Label::kFraud},
+      {"20:58", 47, "Offline, with PIN", "Supermarket", Label::kUnlabeled},
+      {"21:01", 49, "Offline, with PIN", "GAS Station A", Label::kUnlabeled},
+  };
+  for (const RowSpec& spec : rows) {
+    auto tuple = RowBuilder(schema)
+                     .SetClock("time", spec.time)
+                     .Set("amount", spec.amount)
+                     .SetConcept("type", spec.type)
+                     .SetConcept("location", spec.location)
+                     .Build();
+    assert(tuple.ok());
+    st = ex.relation->AppendRow(tuple.ValueOrDie(), spec.label, spec.label);
+    assert(st.ok());
+  }
+
+  const char* rule_texts[] = {
+      "time in [18:00,18:05] && amount >= 110",
+      "time in [18:55,19:05] && amount >= 110",
+      "time in [21:00,21:15] && amount >= 40 && location = 'GAS Station A'",
+  };
+  for (const char* text : rule_texts) {
+    auto rule = ParseRule(*schema, text);
+    assert(rule.ok());
+    ex.rules.AddRule(std::move(rule).ValueOrDie());
+  }
+  return ex;
+}
+
+void MarkPaperLegitimates(PaperExample* example) {
+  for (size_t row : {2u, 4u, 9u}) {  // 0-based rows 3, 5, 10
+    example->relation->SetVisibleLabel(row, Label::kLegitimate);
+  }
+}
+
+}  // namespace rudolf

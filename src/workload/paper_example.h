@@ -1,0 +1,44 @@
+// The paper's running example, reproduced verbatim: the rule set of
+// Figure 1, the transaction relation of Figure 2, and the legitimate labels
+// of Example 4.7. Reused by unit tests (they assert the worked calculations
+// of Examples 4.4 and 4.7) and by the quickstart example.
+
+#ifndef RUDOLF_WORKLOAD_PAPER_EXAMPLE_H_
+#define RUDOLF_WORKLOAD_PAPER_EXAMPLE_H_
+
+#include <memory>
+
+#include "rules/rule_set.h"
+
+namespace rudolf {
+
+/// \brief Figure 1 + Figure 2 materialized.
+struct PaperExample {
+  std::shared_ptr<const Schema> schema;
+  std::shared_ptr<const Ontology> type_ontology;      // Figure 1 bottom DAG
+  std::shared_ptr<const Ontology> location_ontology;  // World / stores / gas
+  std::shared_ptr<Relation> relation;                 // the 10 rows of Figure 2
+  RuleSet rules;                                      // the 3 rules of Figure 1
+
+  size_t time_attr = 0;
+  size_t amount_attr = 1;
+  size_t type_attr = 2;
+  size_t location_attr = 3;
+};
+
+/// Builds the example. Rows 1,2,4,6,7,8 (1-based) are labeled FRAUD as in
+/// Figure 2; the rest are unlabeled.
+///
+/// The initial rules are reconstructed from Example 2.2's captures:
+///   1) time in [18:00,18:05] && amount >= 110
+///   2) time in [18:55,19:05] && amount >= 110   (captures nothing)
+///   3) time in [21:00,21:15] && amount >= 40 && location = 'GAS Station A'
+PaperExample MakePaperExample();
+
+/// Applies Example 4.7's reports: rows 3, 5 and 10 (1-based) become
+/// LEGITIMATE.
+void MarkPaperLegitimates(PaperExample* example);
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_WORKLOAD_PAPER_EXAMPLE_H_

@@ -1,0 +1,115 @@
+#include "workload/pattern.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace rudolf {
+
+Rule AttackPattern::ToRule(const CreditCardSchema& cc) const {
+  Rule rule = Rule::Trivial(*cc.schema);
+  const CreditCardSchemaLayout& lay = cc.layout;
+  rule.set_condition(lay.time, Condition::MakeNumeric(clock_window));
+  rule.set_condition(lay.amount, Condition::MakeNumeric(amount_range));
+  if (!(prev_actions_range == Interval::All())) {
+    rule.set_condition(lay.prev_actions, Condition::MakeNumeric(prev_actions_range));
+  }
+  if (location != cc.location_ontology->top()) {
+    rule.set_condition(lay.location, Condition::MakeCategorical(location));
+  }
+  if (type != cc.type_ontology->top()) {
+    rule.set_condition(lay.type, Condition::MakeCategorical(type));
+  }
+  if (client != cc.client_ontology->top()) {
+    rule.set_condition(lay.client_type, Condition::MakeCategorical(client));
+  }
+  return rule;
+}
+
+bool AttackPattern::Matches(const CreditCardSchema& cc, const Tuple& tuple) const {
+  const CreditCardSchemaLayout& lay = cc.layout;
+  if (!clock_window.Contains(tuple[lay.time])) return false;
+  if (!amount_range.Contains(tuple[lay.amount])) return false;
+  if (!prev_actions_range.Contains(tuple[lay.prev_actions])) return false;
+  if (!cc.location_ontology->Contains(location,
+                                      static_cast<ConceptId>(tuple[lay.location]))) {
+    return false;
+  }
+  if (!cc.type_ontology->Contains(type, static_cast<ConceptId>(tuple[lay.type]))) {
+    return false;
+  }
+  if (!cc.client_ontology->Contains(client,
+                                    static_cast<ConceptId>(tuple[lay.client_type]))) {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Picks a non-leaf, non-top concept (a "category") if any exists; otherwise a
+// random leaf.
+ConceptId RandomInternalConcept(const Ontology& o, Rng* rng) {
+  std::vector<ConceptId> internal;
+  for (ConceptId c = 1; c < o.size(); ++c) {
+    if (!o.IsLeaf(c)) internal.push_back(c);
+  }
+  if (internal.empty()) {
+    std::vector<ConceptId> leaves = o.Leaves();
+    return leaves[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(leaves.size()) - 1))];
+  }
+  return internal[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(internal.size()) - 1))];
+}
+
+}  // namespace
+
+std::vector<AttackPattern> RandomAttackPatterns(const CreditCardSchema& cc,
+                                                const PatternGenOptions& options,
+                                                Rng* rng) {
+  assert(options.initially_active <= options.count);
+  std::vector<AttackPattern> out;
+  out.reserve(static_cast<size_t>(options.count));
+  for (int i = 0; i < options.count; ++i) {
+    AttackPattern p;
+    p.name = StringPrintf("attack-%d", i + 1);
+    // Clock window anywhere in the day.
+    int64_t len = rng->UniformInt(options.min_window_minutes,
+                                  options.max_window_minutes);
+    int64_t start = rng->UniformInt(0, 24 * 60 - 1 - len);
+    p.clock_window = {start, start + len};
+    // Amount range.
+    int64_t lo = rng->UniformInt(options.min_amount, options.max_amount);
+    if (rng->Bernoulli(options.open_amount_prob)) {
+      p.amount_range = Interval::AtLeast(lo);
+    } else {
+      p.amount_range = {lo, lo + rng->UniformInt(20, 120)};
+    }
+    // Concept constraints.
+    p.location = rng->Bernoulli(options.location_constrained_prob)
+                     ? RandomInternalConcept(*cc.location_ontology, rng)
+                     : cc.location_ontology->top();
+    p.type = rng->Bernoulli(options.type_constrained_prob)
+                 ? RandomInternalConcept(*cc.type_ontology, rng)
+                 : cc.type_ontology->top();
+    p.client = cc.client_ontology->top();
+    p.prev_actions_range = {0, rng->UniformInt(5, options.max_prev_actions)};
+    // Activity span: the initial patterns run from 0, possibly fading; the
+    // later ones appear at staggered positions (the drift).
+    if (i < options.initially_active) {
+      p.start_frac = 0.0;
+      p.end_frac = rng->Bernoulli(0.5) ? 1.0 : rng->UniformDouble(0.5, 0.9);
+    } else {
+      p.start_frac = rng->UniformDouble(0.15, 0.75);
+      p.end_frac = rng->Bernoulli(0.7) ? 1.0
+                                       : std::min(1.0, p.start_frac +
+                                                           rng->UniformDouble(0.2, 0.6));
+    }
+    p.weight = rng->UniformDouble(0.5, 1.5);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace rudolf

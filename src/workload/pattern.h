@@ -1,0 +1,84 @@
+// Ground-truth attack patterns. The paper's datasets contain fraud bursts
+// with a semantic signature (a time-of-day window, an amount range, a
+// location/type concept); patterns appear and fade over the stream —
+// the concept drift the refinement process must chase. A pattern is the
+// generator's sampling recipe, the oracle expert's "domain knowledge", and
+// (via ToRule) the rule that would capture it exactly.
+
+#ifndef RUDOLF_WORKLOAD_PATTERN_H_
+#define RUDOLF_WORKLOAD_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/builder.h"
+#include "rules/rule.h"
+#include "util/random.h"
+
+namespace rudolf {
+
+/// \brief One fraud pattern: the conjunction of constraints its
+/// transactions satisfy, plus when in the stream it is active.
+struct AttackPattern {
+  std::string name;
+
+  Interval clock_window{18 * 60, 18 * 60 + 30};  ///< minutes of day
+  Interval amount_range{100, kPosInf};           ///< currency units
+  Interval prev_actions_range{0, 5};  ///< account-history signature of the scheme
+  ConceptId location = 0;  ///< subtree of the location ontology (⊤ = anywhere)
+  ConceptId type = 0;      ///< subtree of the type ontology (⊤ = any)
+  ConceptId client = 0;    ///< subtree of the client ontology (⊤ = any)
+
+  /// Active while start_frac <= (row index / total rows) < end_frac.
+  double start_frac = 0.0;
+  double end_frac = 1.0;
+
+  /// Relative share among concurrently active patterns.
+  double weight = 1.0;
+
+  /// True if active at this stream position.
+  bool ActiveAt(double frac) const { return start_frac <= frac && frac < end_frac; }
+
+  /// The exact rule for this pattern over the credit-card schema.
+  Rule ToRule(const CreditCardSchema& cc) const;
+
+  /// True if the tuple satisfies the pattern's conjunction.
+  bool Matches(const CreditCardSchema& cc, const Tuple& tuple) const;
+};
+
+/// Knobs for RandomAttackPatterns.
+struct PatternGenOptions {
+  int count = 6;               ///< total number of patterns
+  int initially_active = 3;    ///< patterns active from the start of the stream
+  /// Numeric signatures are deliberately loose enough that the categorical
+  /// conditions (venue subtree, transaction type) carry real selectivity —
+  /// otherwise an ontology-blind refiner (RUDOLF -s) would do just as well.
+  int min_window_minutes = 40;
+  int max_window_minutes = 120;
+  int64_t min_amount = 60;
+  int64_t max_amount = 250;
+  /// Probability that the amount range is open-ended above ("Amt >= lo").
+  double open_amount_prob = 0.6;
+  /// Probability that the location constraint is a venue category / city
+  /// (internal concept) rather than ⊤. Real fraud schemes are localized, so
+  /// the default always constrains it — an unconstrained scheme would make
+  /// even the ground-truth rule flag broad swaths of background traffic.
+  double location_constrained_prob = 1.0;
+  /// Probability that the type constraint is non-trivial.
+  double type_constrained_prob = 1.0;
+  /// Upper bound drawn for the prev_actions signature (fresh cards).
+  int64_t max_prev_actions = 20;
+};
+
+/// \brief Draws a reproducible set of attack patterns over the schema's
+/// ontologies. The first `initially_active` patterns are active from
+/// frac 0 (the "yesterday" patterns existing rules were written for, some
+/// of which fade mid-stream); the rest appear at staggered positions —
+/// the drift the refinement rounds must chase.
+std::vector<AttackPattern> RandomAttackPatterns(const CreditCardSchema& cc,
+                                                const PatternGenOptions& options,
+                                                Rng* rng);
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_WORKLOAD_PATTERN_H_

@@ -1,0 +1,59 @@
+#include "workload/scenarios.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace rudolf {
+
+Scenario DefaultScenario(size_t n, uint64_t seed) {
+  Scenario s;
+  s.name = StringPrintf("default-%zu", n);
+  s.options.num_transactions = n;
+  s.options.fraud_fraction = 0.015;
+  s.options.seed = seed;
+  return s;
+}
+
+Scenario TinyScenario(uint64_t seed) {
+  Scenario s = DefaultScenario(3000, seed);
+  s.name = "tiny";
+  s.options.patterns.count = 4;
+  s.options.patterns.initially_active = 2;
+  s.options.fraud_fraction = 0.03;  // enough fraud rows at this size
+  s.options.geo.num_regions = 2;
+  s.options.geo.num_cities_per_region = 3;
+  return s;
+}
+
+std::vector<Scenario> SizeSweepScenarios(const std::vector<size_t>& sizes,
+                                         uint64_t seed) {
+  std::vector<Scenario> out;
+  for (size_t n : sizes) {
+    Scenario s = DefaultScenario(n, seed);
+    s.name = StringPrintf("size-%zu", n);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<Scenario> FraudSweepScenarios(size_t n,
+                                          const std::vector<double>& fractions,
+                                          uint64_t seed) {
+  std::vector<Scenario> out;
+  for (double f : fractions) {
+    Scenario s = DefaultScenario(n, seed);
+    s.name = StringPrintf("fraud-%.2f%%", f * 100.0);
+    s.options.fraud_fraction = f;
+    // A higher fraud share means more concurrent schemes, not just denser
+    // bursts of the same ones — that is what drives the extra rule updates
+    // of Figure 3(d).
+    s.options.patterns.count = std::max(4, static_cast<int>(f * 450));
+    s.options.patterns.initially_active =
+        std::max(2, s.options.patterns.count / 2);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace rudolf

@@ -1,0 +1,37 @@
+// Named dataset presets matching the experiment grid of Section 5.
+
+#ifndef RUDOLF_WORKLOAD_SCENARIOS_H_
+#define RUDOLF_WORKLOAD_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace rudolf {
+
+/// A named generator configuration.
+struct Scenario {
+  std::string name;
+  GeneratorOptions options;
+};
+
+/// The default dataset shape (paper: ~500K rows, ~1.5% fraud). `n` scales
+/// the row count; everything else stays at the defaults.
+Scenario DefaultScenario(size_t n = 100000, uint64_t seed = 7);
+
+/// Tiny dataset for unit tests (fast, but still exhibits drift).
+Scenario TinyScenario(uint64_t seed = 7);
+
+/// Figure 3(c): same fraud share, varying size.
+std::vector<Scenario> SizeSweepScenarios(const std::vector<size_t>& sizes,
+                                         uint64_t seed = 7);
+
+/// Figures 3(d)/(e): same size, fraud share 0.5%..2.5%.
+std::vector<Scenario> FraudSweepScenarios(size_t n,
+                                          const std::vector<double>& fractions,
+                                          uint64_t seed = 7);
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_WORKLOAD_SCENARIOS_H_

@@ -1,0 +1,80 @@
+#include "baselines/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/quality.h"
+#include "rules/evaluator.h"
+#include "workload/scenarios.h"
+
+namespace rudolf {
+namespace {
+
+TEST(MethodName, AllMethodsNamed) {
+  EXPECT_STREQ(MethodName(Method::kRudolf), "rudolf");
+  EXPECT_STREQ(MethodName(Method::kRudolfNovice), "rudolf-novice");
+  EXPECT_STREQ(MethodName(Method::kRudolfMinus), "rudolf-minus");
+  EXPECT_STREQ(MethodName(Method::kRudolfNoOntology), "rudolf-s");
+  EXPECT_STREQ(MethodName(Method::kManual), "manual");
+  EXPECT_STREQ(MethodName(Method::kThresholdMl), "threshold-ml");
+  EXPECT_STREQ(MethodName(Method::kNoChange), "no-change");
+}
+
+class ThresholdBaselineTest : public ::testing::Test {
+ protected:
+  ThresholdBaselineTest() {
+    Scenario s = TinyScenario();
+    s.options.num_transactions = 2500;
+    ds_ = GenerateDataset(s.options);
+    Rng rng(1);
+    RevealLabels(ds_.relation.get(), 0, 1500, 1.0, 0.05, 0.002, &rng);
+  }
+  Dataset ds_;
+};
+
+TEST_F(ThresholdBaselineTest, FirstRoundAddsOneRule) {
+  ThresholdBaseline baseline(ds_);
+  RuleSet rules;
+  EditLog log;
+  baseline.RefineRound(&rules, 1500, &log);
+  EXPECT_EQ(rules.size(), 1u);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.edit(0).kind, EditKind::kAddRule);
+  EXPECT_GE(baseline.current_threshold(), 0);
+  EXPECT_LE(baseline.current_threshold(), 1001);
+}
+
+TEST_F(ThresholdBaselineTest, RuleIsPureScoreThreshold) {
+  ThresholdBaseline baseline(ds_);
+  RuleSet rules;
+  EditLog log;
+  baseline.RefineRound(&rules, 1500, &log);
+  const Rule& rule = rules.Get(rules.LiveIds()[0]);
+  EXPECT_EQ(rule.NumNonTrivial(*ds_.cc.schema), 1u);
+  EXPECT_FALSE(
+      rule.condition(ds_.cc.layout.risk_score).IsTrivial(
+          ds_.cc.schema->attribute(ds_.cc.layout.risk_score)));
+}
+
+TEST_F(ThresholdBaselineTest, UnchangedThresholdLogsNothing) {
+  ThresholdBaseline baseline(ds_);
+  RuleSet rules;
+  EditLog log;
+  baseline.RefineRound(&rules, 1500, &log);
+  size_t edits = log.size();
+  baseline.RefineRound(&rules, 1500, &log);  // same data, same threshold
+  EXPECT_EQ(log.size(), edits);
+}
+
+TEST_F(ThresholdBaselineTest, CapturesHighScoreFraud) {
+  ThresholdBaseline baseline(ds_);
+  RuleSet rules;
+  EditLog log;
+  baseline.RefineRound(&rules, 1500, &log);
+  PredictionQuality q =
+      EvaluateOnRange(*ds_.relation, rules, 1500, ds_.relation->NumRows());
+  // The ML threshold rule must beat "capture nothing" on recall.
+  EXPECT_GT(q.fraud_captured, 0u);
+}
+
+}  // namespace
+}  // namespace rudolf

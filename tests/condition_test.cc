@@ -1,0 +1,192 @@
+#include "rules/condition.h"
+
+#include <gtest/gtest.h>
+
+#include "ontology/builders.h"
+
+namespace rudolf {
+namespace {
+
+AttributeDef NumericDef(NumericDisplay display = NumericDisplay::kPlain) {
+  AttributeDef def;
+  def.name = "amount";
+  def.kind = AttrKind::kNumeric;
+  def.display = display;
+  return def;
+}
+
+AttributeDef TypeDef() {
+  AttributeDef def;
+  def.name = "type";
+  def.kind = AttrKind::kCategorical;
+  def.ontology = BuildTransactionTypeOntology();
+  return def;
+}
+
+TEST(Interval, ContainsAndEmpty) {
+  Interval iv{5, 10};
+  EXPECT_TRUE(iv.Contains(5));
+  EXPECT_TRUE(iv.Contains(10));
+  EXPECT_FALSE(iv.Contains(4));
+  EXPECT_FALSE(iv.Empty());
+  EXPECT_TRUE((Interval{3, 2}).Empty());
+}
+
+TEST(Interval, ContainsInterval) {
+  EXPECT_TRUE((Interval{1, 10}).ContainsInterval({3, 5}));
+  EXPECT_TRUE((Interval{1, 10}).ContainsInterval({1, 10}));
+  EXPECT_FALSE((Interval{1, 10}).ContainsInterval({0, 5}));
+  EXPECT_TRUE((Interval{1, 10}).ContainsInterval({7, 3}));  // empty ⊆ anything
+  EXPECT_TRUE(Interval::All().ContainsInterval({kNegInf, 5}));
+}
+
+TEST(Interval, Hull) {
+  EXPECT_EQ((Interval{1, 5}).Hull({3, 9}), (Interval{1, 9}));
+  EXPECT_EQ((Interval{1, 5}).Hull({7, 9}), (Interval{1, 9}));
+  EXPECT_EQ((Interval{9, 2}).Hull({3, 4}), (Interval{3, 4}));  // empty lhs
+  EXPECT_EQ(Interval::AtLeast(10).Hull({5, 12}), Interval::AtLeast(5));
+}
+
+TEST(IntervalDistance, PaperExamples) {
+  // |[1,5] − [5,100]| = 4
+  EXPECT_EQ(IntervalExtensionDistance({1, 5}, {5, 100}), 4);
+  // |[1,100] − [1,5]| = 95
+  EXPECT_EQ(IntervalExtensionDistance({1, 100}, {1, 5}), 95);
+  // |[5,10] − [1,100]| = 0
+  EXPECT_EQ(IntervalExtensionDistance({5, 10}, {1, 100}), 0);
+}
+
+TEST(IntervalDistance, TwoSidedExtension) {
+  EXPECT_EQ(IntervalExtensionDistance({0, 20}, {5, 10}), 15);  // 5 below + 10 above
+}
+
+TEST(IntervalDistance, OpenEndedRule) {
+  // Extending "amount >= 110" down to contain [106,107] costs 4
+  // (Example 4.4's first calculation).
+  EXPECT_EQ(IntervalExtensionDistance({106, 107}, Interval::AtLeast(110)), 4);
+  EXPECT_EQ(IntervalExtensionDistance({200, 300}, Interval::AtLeast(110)), 0);
+}
+
+TEST(IntervalDistance, UnboundedTargetSaturates) {
+  EXPECT_EQ(IntervalExtensionDistance(Interval::All(), {0, 10}), kPosInf);
+}
+
+TEST(IntervalDistance, EmptyTargetIsFree) {
+  EXPECT_EQ(IntervalExtensionDistance({5, 3}, {0, 1}), 0);
+}
+
+TEST(Condition, TrivialForNumericAndCategorical) {
+  AttributeDef num = NumericDef();
+  AttributeDef cat = TypeDef();
+  EXPECT_TRUE(Condition::TrivialFor(num).IsTrivial(num));
+  EXPECT_TRUE(Condition::TrivialFor(cat).IsTrivial(cat));
+  EXPECT_FALSE(Condition::MakeNumeric({1, 2}).IsTrivial(num));
+  ConceptId online = cat.ontology->Find("Online").ValueOrDie();
+  EXPECT_FALSE(Condition::MakeCategorical(online).IsTrivial(cat));
+}
+
+TEST(Condition, NumericMatches) {
+  AttributeDef def = NumericDef();
+  Condition c = Condition::MakeNumeric({10, 20});
+  EXPECT_TRUE(c.Matches(def, 10));
+  EXPECT_TRUE(c.Matches(def, 20));
+  EXPECT_FALSE(c.Matches(def, 9));
+  EXPECT_FALSE(c.Matches(def, 21));
+}
+
+TEST(Condition, CategoricalMatchesViaContainment) {
+  AttributeDef def = TypeDef();
+  ConceptId online = def.ontology->Find("Online").ValueOrDie();
+  ConceptId on_ccv = def.ontology->Find("Online, with CCV").ValueOrDie();
+  ConceptId off_pin = def.ontology->Find("Offline, with PIN").ValueOrDie();
+  Condition c = Condition::MakeCategorical(online);
+  EXPECT_TRUE(c.Matches(def, on_ccv));
+  EXPECT_FALSE(c.Matches(def, off_pin));
+  // Leaf condition behaves as equality.
+  Condition leaf = Condition::MakeCategorical(on_ccv);
+  EXPECT_TRUE(leaf.Matches(def, on_ccv));
+  EXPECT_FALSE(leaf.Matches(def, off_pin));
+}
+
+TEST(Condition, ContainsCondition) {
+  AttributeDef num = NumericDef();
+  EXPECT_TRUE(Condition::MakeNumeric({0, 100})
+                  .ContainsCondition(num, Condition::MakeNumeric({5, 10})));
+  EXPECT_FALSE(Condition::MakeNumeric({5, 10})
+                   .ContainsCondition(num, Condition::MakeNumeric({0, 100})));
+  AttributeDef cat = TypeDef();
+  ConceptId online = cat.ontology->Find("Online").ValueOrDie();
+  ConceptId on_ccv = cat.ontology->Find("Online, with CCV").ValueOrDie();
+  EXPECT_TRUE(Condition::MakeCategorical(online).ContainsCondition(
+      cat, Condition::MakeCategorical(on_ccv)));
+  EXPECT_FALSE(Condition::MakeCategorical(on_ccv).ContainsCondition(
+      cat, Condition::MakeCategorical(online)));
+}
+
+TEST(Condition, DistanceToNumericAndCategorical) {
+  AttributeDef num = NumericDef();
+  Condition rule = Condition::MakeNumeric(Interval::AtLeast(110));
+  Condition target = Condition::MakeNumeric({106, 107});
+  EXPECT_EQ(rule.DistanceTo(num, target), 4);
+
+  AttributeDef cat = TypeDef();
+  Condition crule = Condition::MakeCategorical(
+      cat.ontology->Find("Online, with CCV").ValueOrDie());
+  Condition ctarget = Condition::MakeCategorical(
+      cat.ontology->Find("Offline, with PIN").ValueOrDie());
+  EXPECT_EQ(crule.DistanceTo(cat, ctarget), 1);
+}
+
+TEST(Condition, SmallestGeneralizationNumeric) {
+  AttributeDef num = NumericDef();
+  Condition rule = Condition::MakeNumeric(Interval::AtLeast(110));
+  Condition target = Condition::MakeNumeric({106, 107});
+  Condition g = rule.SmallestGeneralizationFor(num, target);
+  EXPECT_EQ(g.interval(), Interval::AtLeast(106));
+}
+
+TEST(Condition, SmallestGeneralizationCategorical) {
+  AttributeDef cat = TypeDef();
+  ConceptId on_ccv = cat.ontology->Find("Online, with CCV").ValueOrDie();
+  ConceptId off_pin = cat.ontology->Find("Offline, with PIN").ValueOrDie();
+  Condition rule = Condition::MakeCategorical(on_ccv);
+  Condition g = rule.SmallestGeneralizationFor(
+      cat, Condition::MakeCategorical(off_pin));
+  EXPECT_EQ(cat.ontology->NameOf(g.concept_id()), "With code");
+  EXPECT_TRUE(g.ContainsCondition(cat, Condition::MakeCategorical(off_pin)));
+}
+
+TEST(Condition, ToStringForms) {
+  AttributeDef num = NumericDef();
+  EXPECT_EQ(Condition::MakeNumeric(Interval::AtLeast(110)).ToString(num),
+            "amount >= 110");
+  EXPECT_EQ(Condition::MakeNumeric(Interval::AtMost(50)).ToString(num),
+            "amount <= 50");
+  EXPECT_EQ(Condition::MakeNumeric(Interval::Point(7)).ToString(num),
+            "amount = 7");
+  EXPECT_EQ(Condition::MakeNumeric({5, 9}).ToString(num), "amount in [5,9]");
+  EXPECT_EQ(Condition::MakeNumeric(Interval::All()).ToString(num),
+            "amount <= T");
+}
+
+TEST(Condition, ToStringClockDisplay) {
+  AttributeDef clock = NumericDef(NumericDisplay::kClock);
+  clock.name = "time";
+  EXPECT_EQ(Condition::MakeNumeric({18 * 60, 18 * 60 + 5}).ToString(clock),
+            "time in [18:00,18:05]");
+}
+
+TEST(Condition, ToStringCategorical) {
+  AttributeDef cat = TypeDef();
+  ConceptId online = cat.ontology->Find("Online").ValueOrDie();
+  ConceptId leaf = cat.ontology->Find("Online, no CCV").ValueOrDie();
+  EXPECT_EQ(Condition::MakeCategorical(online).ToString(cat),
+            "type <= 'Online'");
+  EXPECT_EQ(Condition::MakeCategorical(leaf).ToString(cat),
+            "type = 'Online, no CCV'");
+  EXPECT_EQ(Condition::MakeCategorical(cat.ontology->top()).ToString(cat),
+            "type <= T");
+}
+
+}  // namespace
+}  // namespace rudolf

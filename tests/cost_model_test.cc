@@ -1,0 +1,101 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "rules/parser.h"
+#include "workload/paper_example.h"
+
+namespace rudolf {
+namespace {
+
+TEST(DeltaFromCounts, SignConventionsMatchDefinition31) {
+  LabelCounts before;
+  before.fraud = 2;
+  before.legitimate = 3;
+  before.unlabeled = 5;
+  LabelCounts after;
+  after.fraud = 4;      // more fraud captured: ΔF = +2 (good)
+  after.legitimate = 1; // fewer legit captured: ΔL = +2 (good)
+  after.unlabeled = 7;  // more unlabeled captured: ΔR = −2 (bad)
+  BenefitDelta d = DeltaFromCounts(before, after);
+  EXPECT_EQ(d.fraud, 2);
+  EXPECT_EQ(d.legit, 2);
+  EXPECT_EQ(d.unlabeled, -2);
+}
+
+TEST(CostModel, BenefitWeightsComponents) {
+  CostModel model(CostCoefficients{2.0, 3.0, 0.5}, OperationCosts{});
+  BenefitDelta d;
+  d.fraud = 4;
+  d.legit = -1;
+  d.unlabeled = 2;
+  EXPECT_DOUBLE_EQ(model.Benefit(d), 2.0 * 4 + 3.0 * (-1) + 0.5 * 2);
+}
+
+TEST(CostModel, DefaultCoefficientsFavorFraudAndLegit) {
+  CostModel model;
+  EXPECT_GT(model.coefficients().alpha, model.coefficients().gamma);
+  EXPECT_GT(model.coefficients().beta, model.coefficients().gamma);
+}
+
+TEST(CostModel, DistanceUnweightedMatchesEquationOne) {
+  PaperExample ex = MakePaperExample();
+  CostModel model;
+  Rule rule = ParseRule(*ex.schema, "time in [18:00,18:05] && amount >= 110")
+                  .ValueOrDie();
+  Rule rep = ParseRule(*ex.schema, "time in [18:02,18:03] && amount in [106,107]")
+                 .ValueOrDie();
+  EXPECT_DOUBLE_EQ(model.Distance(*ex.schema, rule, rep), 4.0);
+}
+
+TEST(CostModel, InfiniteDistanceMappedToHugeFinite) {
+  PaperExample ex = MakePaperExample();
+  CostModel model;
+  Rule rule = Rule::Trivial(*ex.schema);
+  rule.set_condition(1, Condition::MakeNumeric({10, 5}));  // empty
+  Rule rep = ParseRule(*ex.schema, "amount <= T").ValueOrDie();
+  EXPECT_GE(model.Distance(*ex.schema, rule, rep), 1e17);
+}
+
+TEST(CostModel, WeightedDistanceUsesAttributeWeights) {
+  PaperExample ex = MakePaperExample();
+  CostModel model;
+  model.set_attribute_weights({10.0, 1.0, 1.0, 1.0});
+  Rule rule = ParseRule(*ex.schema, "time in [18:00,18:05] && amount >= 110")
+                  .ValueOrDie();
+  Rule rep = ParseRule(*ex.schema, "time in [18:10,18:10] && amount in [106,107]")
+                 .ValueOrDie();
+  // time extension 5 × weight 10 + amount extension 4 × 1.
+  EXPECT_DOUBLE_EQ(model.Distance(*ex.schema, rule, rep), 54.0);
+}
+
+TEST(CostModel, GeneralizationScoreIsDistanceMinusBenefit) {
+  PaperExample ex = MakePaperExample();
+  CostModel model(CostCoefficients{1.0, 1.0, 1.0}, OperationCosts{});
+  Rule rule = ParseRule(*ex.schema, "amount >= 110").ValueOrDie();
+  Rule rep = ParseRule(*ex.schema, "amount in [106,107]").ValueOrDie();
+  BenefitDelta d;
+  d.fraud = 2;
+  EXPECT_DOUBLE_EQ(model.GeneralizationScore(*ex.schema, rule, rep, d),
+                   4.0 - 2.0);
+}
+
+TEST(CostModel, OperationCostsCarried) {
+  OperationCosts ops;
+  ops.modify_condition = 2.5;
+  ops.split_rule = 4.0;
+  CostModel model(CostCoefficients{}, ops);
+  EXPECT_DOUBLE_EQ(model.operations().modify_condition, 2.5);
+  EXPECT_DOUBLE_EQ(model.operations().split_rule, 4.0);
+}
+
+TEST(BenefitDelta, EqualityAndDefault) {
+  BenefitDelta a;
+  BenefitDelta b;
+  EXPECT_EQ(a, b);
+  b.fraud = 1;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace rudolf

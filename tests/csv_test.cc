@@ -1,0 +1,118 @@
+#include "io/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rudolf {
+namespace {
+
+TEST(CsvWriter, PlainFields) {
+  EXPECT_EQ(WriteCsv({{"a", "b", "c"}}), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesCommas) {
+  EXPECT_EQ(WriteCsv({{"Online, no CCV", "x"}}), "\"Online, no CCV\",x\n");
+}
+
+TEST(CsvWriter, EscapesQuotes) {
+  EXPECT_EQ(WriteCsv({{"say \"hi\""}}), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines) {
+  EXPECT_EQ(WriteCsv({{"two\nlines"}}), "\"two\nlines\"\n");
+}
+
+TEST(CsvReader, PlainRecord) {
+  auto rows = ParseCsv("a,b,c\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (std::vector<std::vector<std::string>>{{"a", "b", "c"}}));
+}
+
+TEST(CsvReader, MultipleRecords) {
+  auto rows = ParseCsv("a,b\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(CsvReader, MissingTrailingNewline) {
+  auto rows = ParseCsv("a,b\nc,d");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvReader, QuotedFieldWithComma) {
+  auto rows = ParseCsv("\"Online, no CCV\",107\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "Online, no CCV");
+  EXPECT_EQ((*rows)[0][1], "107");
+}
+
+TEST(CsvReader, QuotedFieldWithEscapedQuote) {
+  auto rows = ParseCsv("\"a\"\"b\"\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "a\"b");
+}
+
+TEST(CsvReader, QuotedFieldWithNewline) {
+  auto rows = ParseCsv("\"line1\nline2\",x\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "line1\nline2");
+}
+
+TEST(CsvReader, EmptyFields) {
+  auto rows = ParseCsv("a,,c\n,\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"", ""}));
+}
+
+TEST(CsvReader, CrLfLineEndings) {
+  auto rows = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvReader, UnterminatedQuoteFails) {
+  auto rows = ParseCsv("\"oops\n");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvReader, StrayQuoteFails) {
+  auto rows = ParseCsv("ab\"c,d\n");
+  EXPECT_FALSE(rows.ok());
+}
+
+TEST(CsvReader, EmptyInput) {
+  auto rows = ParseCsv("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(CsvReader, LineNumberTracksRecords) {
+  std::istringstream in("a\nb\nc\n");
+  CsvReader reader(&in);
+  ASSERT_TRUE(reader.ReadRow().ok());
+  ASSERT_TRUE(reader.ReadRow().ok());
+  auto r = reader.ReadRow();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(reader.line_number(), 3u);
+}
+
+TEST(Csv, RoundTripsArbitraryContent) {
+  std::vector<std::vector<std::string>> original = {
+      {"plain", "with,comma", "with\"quote", "multi\nline", ""},
+      {"", "", ""},
+      {"18:05", "Online, no CCV", "x,y\"z\n,"},
+  };
+  auto parsed = ParseCsv(WriteCsv(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, original);
+}
+
+}  // namespace
+}  // namespace rudolf

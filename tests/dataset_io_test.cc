@@ -1,0 +1,127 @@
+#include "io/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "io/rules_io.h"
+#include "rules/parser.h"
+#include "workload/generator.h"
+#include "workload/paper_example.h"
+#include "workload/scenarios.h"
+
+namespace rudolf {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  fs::path p = fs::temp_directory_path() / ("rudolf_test_" + name);
+  fs::remove_all(p);
+  return p.string();
+}
+
+TEST(DatasetIo, RoundTripsPaperExample) {
+  PaperExample ex = MakePaperExample();
+  std::string dir = TempDir("paper");
+  ASSERT_TRUE(SaveDataset(*ex.relation, dir).ok());
+  auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Relation& rel = **loaded;
+  ASSERT_EQ(rel.NumRows(), ex.relation->NumRows());
+  EXPECT_TRUE(rel.schema().EquivalentTo(*ex.schema));
+  for (size_t r = 0; r < rel.NumRows(); ++r) {
+    EXPECT_EQ(rel.GetRow(r), ex.relation->GetRow(r)) << r;
+    EXPECT_EQ(rel.TrueLabel(r), ex.relation->TrueLabel(r)) << r;
+    EXPECT_EQ(rel.VisibleLabel(r), ex.relation->VisibleLabel(r)) << r;
+    EXPECT_EQ(rel.Score(r), ex.relation->Score(r)) << r;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(DatasetIo, RoundTripsGeneratedDataset) {
+  Scenario s = TinyScenario();
+  s.options.num_transactions = 500;
+  Dataset ds = GenerateDataset(s.options);
+  std::string dir = TempDir("generated");
+  ASSERT_TRUE(SaveDataset(*ds.relation, dir).ok());
+  auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ((*loaded)->NumRows(), 500u);
+  for (size_t r = 0; r < 500; r += 37) {
+    EXPECT_EQ((*loaded)->GetRow(r), ds.relation->GetRow(r));
+    EXPECT_EQ((*loaded)->Score(r), ds.relation->Score(r));
+  }
+  fs::remove_all(dir);
+}
+
+TEST(DatasetIo, TransactionsCsvRoundTrip) {
+  PaperExample ex = MakePaperExample();
+  std::string path =
+      (fs::temp_directory_path() / "rudolf_tx_test.csv").string();
+  ASSERT_TRUE(SaveTransactionsCsv(*ex.relation, path).ok());
+  Relation fresh(ex.schema);
+  ASSERT_TRUE(LoadTransactionsCsv(path, &fresh).ok());
+  ASSERT_EQ(fresh.NumRows(), ex.relation->NumRows());
+  EXPECT_EQ(fresh.GetRow(5), ex.relation->GetRow(5));
+  fs::remove(path);
+}
+
+TEST(DatasetIo, LoadRejectsHeaderMismatch) {
+  PaperExample ex = MakePaperExample();
+  std::string path =
+      (fs::temp_directory_path() / "rudolf_badhdr_test.csv").string();
+  {
+    std::ofstream out(path);
+    out << "wrong,header,entirely,x,__true_label,__visible_label,__score\n";
+  }
+  Relation fresh(ex.schema);
+  Status st = LoadTransactionsCsv(path, &fresh);
+  EXPECT_FALSE(st.ok());
+  fs::remove(path);
+}
+
+TEST(DatasetIo, LoadMissingDirFails) {
+  EXPECT_FALSE(LoadDataset("/nonexistent/rudolf").ok());
+}
+
+TEST(RulesIo, RoundTripsRuleSet) {
+  PaperExample ex = MakePaperExample();
+  std::string text = RuleSetToText(ex.rules, *ex.schema);
+  auto loaded = RuleSetFromText(*ex.schema, text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), ex.rules.size());
+  for (RuleId id : ex.rules.LiveIds()) {
+    EXPECT_EQ(loaded->Get(id), ex.rules.Get(id));
+  }
+}
+
+TEST(RulesIo, SkipsCommentsAndBlankLines) {
+  PaperExample ex = MakePaperExample();
+  auto loaded = RuleSetFromText(*ex.schema,
+                                "# comment\n\nrule amount >= 5\n");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+}
+
+TEST(RulesIo, ReportsLineNumbersOnErrors) {
+  PaperExample ex = MakePaperExample();
+  auto loaded = RuleSetFromText(*ex.schema, "rule amount >= 5\nbogus line\n");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(RulesIo, SaveAndLoadFile) {
+  PaperExample ex = MakePaperExample();
+  std::string path =
+      (fs::temp_directory_path() / "rudolf_rules_test.rules").string();
+  ASSERT_TRUE(SaveRuleSet(ex.rules, *ex.schema, path).ok());
+  auto loaded = LoadRuleSet(*ex.schema, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 3u);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace rudolf

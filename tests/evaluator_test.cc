@@ -1,0 +1,109 @@
+#include "rules/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "rules/parser.h"
+#include "workload/paper_example.h"
+
+namespace rudolf {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest() : ex_(MakePaperExample()) {}
+  Rule Parse(const std::string& text) {
+    return ParseRule(*ex_.schema, text).ValueOrDie();
+  }
+  PaperExample ex_;
+};
+
+TEST_F(EvaluatorTest, EvalRuleMatchesRowSemantics) {
+  RuleEvaluator eval(*ex_.relation);
+  Rule r = Parse("amount >= 100");
+  Bitset captured = eval.EvalRule(r);
+  for (size_t row = 0; row < ex_.relation->NumRows(); ++row) {
+    EXPECT_EQ(captured.Test(row), r.MatchesRow(*ex_.relation, row)) << row;
+  }
+}
+
+TEST_F(EvaluatorTest, TrivialRuleCapturesAll) {
+  RuleEvaluator eval(*ex_.relation);
+  EXPECT_EQ(eval.EvalRule(Rule::Trivial(*ex_.schema)).Count(),
+            ex_.relation->NumRows());
+}
+
+TEST_F(EvaluatorTest, CategoricalConditionUsesContainment) {
+  RuleEvaluator eval(*ex_.relation);
+  Bitset offline = eval.EvalRule(Parse("type <= 'Offline'"));
+  // Rows 6,7,8 (Offline, without PIN) and 9,10 (Offline, with PIN): 0-based
+  // 5..9.
+  EXPECT_EQ(offline.ToIndices(), (std::vector<size_t>{5, 6, 7, 8, 9}));
+}
+
+TEST_F(EvaluatorTest, EvalRuleSetIsUnion) {
+  RuleEvaluator eval(*ex_.relation);
+  Bitset captured = eval.EvalRuleSet(ex_.rules);
+  // Example 2.2: exactly tuples 3 and 10 (0-based 2 and 9).
+  EXPECT_EQ(captured.ToIndices(), (std::vector<size_t>{2, 9}));
+}
+
+TEST_F(EvaluatorTest, PrefixLimitsEvaluation) {
+  RuleEvaluator eval(*ex_.relation, 5);
+  EXPECT_EQ(eval.num_rows(), 5u);
+  Bitset captured = eval.EvalRule(Rule::Trivial(*ex_.schema));
+  EXPECT_EQ(captured.size(), 5u);
+  EXPECT_EQ(captured.Count(), 5u);
+}
+
+TEST_F(EvaluatorTest, CountsVisiblePartitionsByLabel) {
+  RuleEvaluator eval(*ex_.relation);
+  Bitset all = eval.EvalRule(Rule::Trivial(*ex_.schema));
+  LabelCounts counts = eval.CountsVisible(all);
+  EXPECT_EQ(counts.fraud, 6u);
+  EXPECT_EQ(counts.legitimate, 0u);
+  EXPECT_EQ(counts.unlabeled, 4u);
+  EXPECT_EQ(counts.total(), 10u);
+}
+
+TEST_F(EvaluatorTest, CountsRespectLabelChanges) {
+  MarkPaperLegitimates(&ex_);
+  RuleEvaluator eval(*ex_.relation);
+  LabelCounts counts = eval.CountsVisible(eval.EvalRule(Rule::Trivial(*ex_.schema)));
+  EXPECT_EQ(counts.fraud, 6u);
+  EXPECT_EQ(counts.legitimate, 3u);
+  EXPECT_EQ(counts.unlabeled, 1u);
+}
+
+TEST_F(EvaluatorTest, CountsTrueUsesGroundTruth) {
+  MarkPaperLegitimates(&ex_);  // changes only visible labels
+  RuleEvaluator eval(*ex_.relation);
+  LabelCounts truth = eval.CountsTrue(eval.EvalRule(Rule::Trivial(*ex_.schema)));
+  EXPECT_EQ(truth.fraud, 6u);
+  EXPECT_EQ(truth.unlabeled, 4u);
+}
+
+TEST_F(EvaluatorTest, RuleCountsVisibleConvenience) {
+  RuleEvaluator eval(*ex_.relation);
+  LabelCounts counts = eval.RuleCountsVisible(Parse("amount >= 110"));
+  // 18:04/112 (unlabeled), 19:08/114 (fraud), 19:10/117 (unlabeled).
+  EXPECT_EQ(counts.fraud, 1u);
+  EXPECT_EQ(counts.unlabeled, 2u);
+}
+
+TEST_F(EvaluatorTest, EmptyIntervalCapturesNothing) {
+  RuleEvaluator eval(*ex_.relation);
+  Rule r = Rule::Trivial(*ex_.schema);
+  r.set_condition(1, Condition::MakeNumeric({10, 5}));
+  EXPECT_EQ(eval.EvalRule(r).Count(), 0u);
+}
+
+TEST_F(EvaluatorTest, ConceptMaskMemoizationIsTransparent) {
+  RuleEvaluator eval(*ex_.relation);
+  Rule r = Parse("type <= 'Online'");
+  Bitset first = eval.EvalRule(r);
+  Bitset second = eval.EvalRule(r);  // served by the memoized mask
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace rudolf

@@ -1,0 +1,147 @@
+// Exact solvers + the NP-hardness constructions of Theorems 4.1 and 4.5:
+// the paper's reduction instance is replayed and the heuristic engines are
+// compared against the optimum.
+
+#include <gtest/gtest.h>
+
+#include "exact/hitting_set.h"
+#include "exact/set_cover.h"
+#include "util/random.h"
+
+namespace rudolf {
+namespace {
+
+// The paper's running reduction instance: U = {A1..A5},
+// s1 = {A1,A2,A3}, s2 = {A2,A3,A4,A5}, s3 = {A4,A5}. (0-based indices.)
+HittingSetInstance PaperInstance() {
+  HittingSetInstance inst;
+  inst.universe_size = 5;
+  inst.sets = {{0, 1, 2}, {1, 2, 3, 4}, {3, 4}};
+  return inst;
+}
+
+TEST(HittingSet, PaperInstanceMinimumIsTwo) {
+  auto best = MinimumHittingSet(PaperInstance());
+  EXPECT_EQ(best.size(), 2u);
+  EXPECT_TRUE(IsHittingSet(PaperInstance(), best));
+  // {A2, A4} (0-based {1, 3}) is one optimal answer — the paper's choice.
+  EXPECT_TRUE(IsHittingSet(PaperInstance(), {1, 3}));
+}
+
+TEST(HittingSet, GreedyIsFeasible) {
+  auto greedy = GreedyHittingSet(PaperInstance());
+  EXPECT_TRUE(IsHittingSet(PaperInstance(), greedy));
+  EXPECT_GE(greedy.size(), 2u);
+}
+
+TEST(HittingSet, SingleSet) {
+  HittingSetInstance inst;
+  inst.universe_size = 3;
+  inst.sets = {{2}};
+  EXPECT_EQ(MinimumHittingSet(inst), (std::vector<size_t>{2}));
+}
+
+TEST(HittingSet, EmptyInstance) {
+  HittingSetInstance inst;
+  inst.universe_size = 3;
+  EXPECT_TRUE(MinimumHittingSet(inst).empty());
+}
+
+TEST(HittingSet, DisjointSetsNeedOnePerSet) {
+  HittingSetInstance inst;
+  inst.universe_size = 6;
+  inst.sets = {{0, 1}, {2, 3}, {4, 5}};
+  EXPECT_EQ(MinimumHittingSet(inst).size(), 3u);
+}
+
+TEST(HittingSet, SharedElementCollapsesToOne) {
+  HittingSetInstance inst;
+  inst.universe_size = 4;
+  inst.sets = {{0, 3}, {1, 3}, {2, 3}};
+  EXPECT_EQ(MinimumHittingSet(inst), (std::vector<size_t>{3}));
+}
+
+TEST(HittingSet, ExactNeverWorseThanGreedyOnRandomInstances) {
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    HittingSetInstance inst;
+    inst.universe_size = 8;
+    int num_sets = static_cast<int>(rng.UniformInt(1, 6));
+    for (int s = 0; s < num_sets; ++s) {
+      std::vector<size_t> set;
+      for (size_t e = 0; e < inst.universe_size; ++e) {
+        if (rng.Bernoulli(0.35)) set.push_back(e);
+      }
+      if (set.empty()) set.push_back(static_cast<size_t>(rng.UniformInt(0, 7)));
+      inst.sets.push_back(std::move(set));
+    }
+    auto exact = MinimumHittingSet(inst);
+    auto greedy = GreedyHittingSet(inst);
+    EXPECT_TRUE(IsHittingSet(inst, exact));
+    EXPECT_TRUE(IsHittingSet(inst, greedy));
+    EXPECT_LE(exact.size(), greedy.size());
+  }
+}
+
+TEST(SetCover, SimpleInstance) {
+  SetCoverInstance inst;
+  inst.universe_size = 5;
+  inst.subsets = {{0, 1, 2}, {2, 3}, {3, 4}, {0, 4}};
+  auto best = MinimumSetCover(inst);
+  EXPECT_TRUE(IsSetCover(inst, best));
+  EXPECT_EQ(best.size(), 2u);  // {0,1,2} + {3,4}
+}
+
+TEST(SetCover, OverlappingSubsets) {
+  SetCoverInstance inst;
+  inst.universe_size = 8;
+  inst.subsets = {{0, 1, 2, 3}, {4, 5, 6, 7}, {0, 1, 4, 5, 2}, {3, 6, 7, 2}};
+  auto exact = MinimumSetCover(inst);
+  EXPECT_EQ(exact.size(), 2u);
+  auto greedy = GreedySetCover(inst);
+  EXPECT_TRUE(IsSetCover(inst, greedy));
+  EXPECT_LE(exact.size(), greedy.size());
+}
+
+TEST(SetCover, EmptyUniverse) {
+  SetCoverInstance inst;
+  inst.universe_size = 0;
+  inst.subsets = {{}};
+  EXPECT_TRUE(MinimumSetCover(inst).empty());
+}
+
+TEST(SetCover, UncoverableReturnsBestEffort) {
+  SetCoverInstance inst;
+  inst.universe_size = 3;
+  inst.subsets = {{0}};
+  auto best = MinimumSetCover(inst);
+  EXPECT_FALSE(IsSetCover(inst, best));
+}
+
+TEST(SetCover, ExactNeverWorseThanGreedyOnRandomInstances) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    SetCoverInstance inst;
+    inst.universe_size = 7;
+    int num_subsets = static_cast<int>(rng.UniformInt(3, 8));
+    for (int s = 0; s < num_subsets; ++s) {
+      std::vector<size_t> set;
+      for (size_t e = 0; e < inst.universe_size; ++e) {
+        if (rng.Bernoulli(0.4)) set.push_back(e);
+      }
+      inst.subsets.push_back(std::move(set));
+    }
+    // Guarantee coverability.
+    std::vector<size_t> all(inst.universe_size);
+    for (size_t e = 0; e < inst.universe_size; ++e) all[e] = e;
+    inst.subsets.push_back(all);
+    auto exact = MinimumSetCover(inst);
+    auto greedy = GreedySetCover(inst);
+    EXPECT_TRUE(IsSetCover(inst, exact));
+    EXPECT_TRUE(IsSetCover(inst, greedy));
+    EXPECT_LE(exact.size(), greedy.size());
+  }
+}
+
+}  // namespace
+}  // namespace rudolf

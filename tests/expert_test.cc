@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "core/capture_tracker.h"
+#include "core/generalize.h"
+#include "core/session.h"
+#include "expert/manual_expert.h"
+#include "expert/oracle_expert.h"
+#include "expert/scripted_expert.h"
+#include "expert/time_model.h"
+#include "workload/initial_rules.h"
+#include "workload/paper_example.h"
+#include "workload/scenarios.h"
+
+namespace rudolf {
+namespace {
+
+class ExpertTest : public ::testing::Test {
+ protected:
+  ExpertTest() {
+    Scenario s = TinyScenario();
+    s.options.num_transactions = 2500;
+    ds_ = GenerateDataset(s.options);
+    // Reveal the first 60% with light noise.
+    Rng rng(1);
+    RevealLabels(ds_.relation.get(), 0, 1500, 0.95, 0.05, 0.002, &rng);
+  }
+  Dataset ds_;
+};
+
+TEST_F(ExpertTest, AutoAcceptAcceptsEverythingInstantly) {
+  AutoAcceptExpert expert;
+  GeneralizationProposal gp;
+  GeneralizationReview gr = expert.ReviewGeneralization(gp, *ds_.relation);
+  EXPECT_EQ(gr.action, GeneralizationReview::Action::kAccept);
+  EXPECT_DOUBLE_EQ(gr.seconds, 0.0);
+  SplitProposal sp;
+  SplitReview sr = expert.ReviewSplit(sp, *ds_.relation);
+  EXPECT_EQ(sr.action, SplitReview::Action::kAccept);
+  EXPECT_EQ(expert.name(), "rudolf-minus");
+}
+
+TEST_F(ExpertTest, OracleAcceptsProposalMatchingPattern) {
+  OracleOptions options;  // zero noise
+  OracleExpert expert(ds_, options);
+  // Build a proposal whose representative is a real pattern's rule itself.
+  const AttackPattern& p = ds_.patterns[0];
+  GeneralizationProposal gp;
+  gp.rule_id = kInvalidRule;
+  gp.representative = p.ToRule(ds_.cc);
+  gp.proposed = gp.representative;
+  GeneralizationReview review = expert.ReviewGeneralization(gp, *ds_.relation);
+  // The proposal already equals the true rule: plain accept.
+  EXPECT_EQ(review.action, GeneralizationReview::Action::kAccept);
+  EXPECT_GT(review.seconds, 0.0);
+}
+
+TEST_F(ExpertTest, OracleRewritesTowardTrueSignature) {
+  OracleOptions options;
+  OracleExpert expert(ds_, options);
+  const AttackPattern& p = ds_.patterns[0];
+  Rule true_rule = p.ToRule(ds_.cc);
+  // A narrower representative (a real cluster is inside the pattern) and a
+  // proposal that under-generalizes.
+  Rule rep = true_rule;
+  Interval amt = rep.condition(ds_.cc.layout.amount).interval();
+  if (amt.hi == kPosInf) amt.hi = amt.lo + 10;
+  amt.lo += 3;
+  rep.set_condition(ds_.cc.layout.amount, Condition::MakeNumeric(amt));
+  GeneralizationProposal gp;
+  gp.rule_id = kInvalidRule;
+  gp.representative = rep;
+  gp.proposed = rep;
+  GeneralizationReview review = expert.ReviewGeneralization(gp, *ds_.relation);
+  ASSERT_EQ(review.action, GeneralizationReview::Action::kAcceptRevised);
+  EXPECT_EQ(review.revised, true_rule);  // the "rounding" to the true bounds
+}
+
+TEST_F(ExpertTest, OracleRejectsNoiseClusters) {
+  OracleOptions options;
+  OracleExpert expert(ds_, options);
+  // A representative matching no pattern: absurd amounts at 03:00.
+  Rule rep = Rule::Trivial(*ds_.cc.schema);
+  rep.set_condition(ds_.cc.layout.time, Condition::MakeNumeric({180, 185}));
+  rep.set_condition(ds_.cc.layout.amount, Condition::MakeNumeric({4900, 4999}));
+  GeneralizationProposal gp;
+  gp.rule_id = kInvalidRule;
+  gp.representative = rep;
+  gp.proposed = rep;
+  EXPECT_EQ(expert.ReviewGeneralization(gp, *ds_.relation).action,
+            GeneralizationReview::Action::kRejectCluster);
+}
+
+TEST_F(ExpertTest, OracleRejectsCrossPatternMerges) {
+  // Two distinct initially-active patterns must exist in the tiny scenario.
+  ASSERT_GE(ds_.patterns.size(), 2u);
+  OracleOptions options;
+  OracleExpert expert(ds_, options);
+  GeneralizationProposal gp;
+  gp.rule_id = 7;  // any existing-rule id
+  gp.original = ds_.patterns[1].ToRule(ds_.cc);  // belongs to pattern 2
+  gp.representative = ds_.patterns[0].ToRule(ds_.cc);  // cluster of pattern 1
+  gp.proposed = gp.original.SmallestGeneralizationFor(*ds_.cc.schema,
+                                                      gp.representative);
+  // Patterns are distinct, so generalizing pattern-2's rule to cover
+  // pattern-1's cluster is a merge the expert declines.
+  if (!ds_.patterns[0]
+           .ToRule(ds_.cc)
+           .ContainsRule(*ds_.cc.schema, gp.original)) {
+    EXPECT_EQ(expert.ReviewGeneralization(gp, *ds_.relation).action,
+              GeneralizationReview::Action::kReject);
+  }
+}
+
+TEST_F(ExpertTest, OracleRejectsSplitExcludingTrueFraud) {
+  OracleOptions options;
+  OracleExpert expert(ds_, options);
+  // Find a row that is truly fraud but visibly legitimate (mislabel noise);
+  // if none exists, fabricate one.
+  size_t row = static_cast<size_t>(-1);
+  for (size_t r = 0; r < 1500; ++r) {
+    if (ds_.relation->TrueLabel(r) == Label::kFraud &&
+        ds_.relation->VisibleLabel(r) == Label::kLegitimate) {
+      row = r;
+      break;
+    }
+  }
+  if (row == static_cast<size_t>(-1)) {
+    row = ds_.relation->RowsWithTrueLabel(Label::kFraud)[0];
+    ds_.relation->SetVisibleLabel(row, Label::kLegitimate);
+  }
+  SplitProposal sp;
+  sp.excluded_row = row;
+  sp.excluded = ds_.relation->GetRow(row);
+  EXPECT_EQ(expert.ReviewSplit(sp, *ds_.relation).action,
+            SplitReview::Action::kReject);
+}
+
+TEST_F(ExpertTest, OracleRejectsFraudLosingSplits) {
+  OracleOptions options;
+  OracleExpert expert(ds_, options);
+  size_t legit = ds_.relation->RowsWithTrueLabel(Label::kLegitimate)[0];
+  ds_.relation->SetVisibleLabel(legit, Label::kLegitimate);
+  SplitProposal sp;
+  sp.excluded_row = legit;
+  sp.excluded = ds_.relation->GetRow(legit);
+  sp.delta.fraud = -3;  // the split would lose three captured frauds
+  EXPECT_EQ(expert.ReviewSplit(sp, *ds_.relation).action,
+            SplitReview::Action::kReject);
+  sp.delta.fraud = 0;
+  EXPECT_EQ(expert.ReviewSplit(sp, *ds_.relation).action,
+            SplitReview::Action::kAccept);
+}
+
+TEST_F(ExpertTest, OracleAccumulatesTime) {
+  OracleOptions options;
+  OracleExpert expert(ds_, options);
+  GeneralizationProposal gp;
+  gp.representative = ds_.patterns[0].ToRule(ds_.cc);
+  gp.proposed = gp.representative;
+  gp.rule_id = kInvalidRule;
+  double before = expert.total_seconds();
+  expert.ReviewGeneralization(gp, *ds_.relation);
+  EXPECT_GT(expert.total_seconds(), before);
+}
+
+TEST_F(ExpertTest, NoviceIsSlowerAndNoisier) {
+  auto domain = MakeDomainExpert(ds_);
+  auto novice = MakeNoviceExpert(ds_);
+  EXPECT_EQ(domain->name(), "domain-expert");
+  EXPECT_EQ(novice->name(), "novice");
+  // Same number of interactions: the novice takes longer in expectation.
+  GeneralizationProposal gp;
+  gp.representative = ds_.patterns[0].ToRule(ds_.cc);
+  gp.proposed = gp.representative;
+  gp.rule_id = kInvalidRule;
+  for (int i = 0; i < 50; ++i) {
+    domain->ReviewGeneralization(gp, *ds_.relation);
+    novice->ReviewGeneralization(gp, *ds_.relation);
+  }
+  EXPECT_GT(novice->total_seconds(), domain->total_seconds());
+}
+
+TEST(TimeModel, DrawsArePositiveAndNearMean) {
+  TimeModelOptions options;
+  TimeModel model(options, 42);
+  double total = 0;
+  for (int i = 0; i < 500; ++i) {
+    double s = model.ReviewGeneralizationSeconds();
+    EXPECT_GT(s, 0.0);
+    total += s;
+  }
+  EXPECT_NEAR(total / 500.0, options.review_generalization_mean, 1.5);
+}
+
+TEST(TimeModel, ManualFixIsMuchSlowerThanReview) {
+  TimeModelOptions options;
+  TimeModel model(options, 42);
+  EXPECT_GT(model.ManualFixSeconds(), 10.0 * options.review_split_mean);
+}
+
+TEST(ScriptedExpert, ReplaysQueueThenAccepts) {
+  ScriptedExpert expert;
+  GeneralizationReview reject;
+  reject.action = GeneralizationReview::Action::kReject;
+  expert.PushGeneralization(reject);
+  PaperExample ex = MakePaperExample();
+  GeneralizationProposal gp;
+  EXPECT_EQ(expert.ReviewGeneralization(gp, *ex.relation).action,
+            GeneralizationReview::Action::kReject);
+  EXPECT_EQ(expert.ReviewGeneralization(gp, *ex.relation).action,
+            GeneralizationReview::Action::kAccept);
+  EXPECT_EQ(expert.seen_generalizations().size(), 2u);
+}
+
+TEST_F(ExpertTest, ManualExpertFixesProblematicTransactions) {
+  RuleSet rules = SynthesizeInitialRules(ds_);
+  ManualExpertOptions options;
+  options.max_fixes_per_round = 30;
+  ManualExpert manual(ds_, options);
+  EditLog log;
+  CaptureTracker before(*ds_.relation, rules, 1500);
+  size_t uncaptured_before = 0;
+  for (size_t r = 0; r < 1500; ++r) {
+    if (ds_.relation->VisibleLabel(r) == Label::kFraud && !before.IsCovered(r)) {
+      ++uncaptured_before;
+    }
+  }
+  ManualRoundStats stats = manual.RunRound(&rules, 1500, &log);
+  EXPECT_GT(stats.fixes, 0u);
+  EXPECT_GT(stats.seconds, 0.0);
+  EXPECT_GT(log.size(), 0u);
+  CaptureTracker after(*ds_.relation, rules, 1500);
+  size_t uncaptured_after = 0;
+  for (size_t r = 0; r < 1500; ++r) {
+    if (ds_.relation->VisibleLabel(r) == Label::kFraud && !after.IsCovered(r)) {
+      ++uncaptured_after;
+    }
+  }
+  EXPECT_LT(uncaptured_after, uncaptured_before);
+}
+
+TEST_F(ExpertTest, ManualExpertRespectsCapacity) {
+  RuleSet rules;  // no rules: every reported fraud is problematic
+  ManualExpertOptions options;
+  options.max_fixes_per_round = 3;
+  ManualExpert manual(ds_, options);
+  EditLog log;
+  ManualRoundStats stats = manual.RunRound(&rules, 1500, &log);
+  EXPECT_LE(stats.fixes, 3u);
+}
+
+}  // namespace
+}  // namespace rudolf

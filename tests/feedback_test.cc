@@ -1,0 +1,126 @@
+#include "core/feedback.h"
+
+#include <gtest/gtest.h>
+
+#include "experiments/runner.h"
+#include "rules/parser.h"
+#include "workload/paper_example.h"
+#include "workload/scenarios.h"
+
+namespace rudolf {
+namespace {
+
+Edit ConditionEdit(size_t attribute, EditSource source) {
+  Edit edit;
+  edit.kind = EditKind::kModifyCondition;
+  edit.attribute = attribute;
+  edit.source = source;
+  return edit;
+}
+
+class FeedbackTest : public ::testing::Test {
+ protected:
+  FeedbackTest() : ex_(MakePaperExample()) {}
+
+  Rule Parse(const std::string& text) {
+    return ParseRule(*ex_.schema, text).ValueOrDie();
+  }
+
+  PaperExample ex_;
+  CostModel model_;
+  EditLog log_;
+};
+
+TEST_F(FeedbackTest, InitializesNeutralWeights) {
+  log_.Record(ConditionEdit(1, EditSource::kSystem));
+  FeedbackStats stats = AdaptAttributeWeights(*ex_.schema, log_, 0, &model_);
+  EXPECT_EQ(stats.system_edits, 1u);
+  ASSERT_EQ(model_.attribute_weights().size(), ex_.schema->arity());
+  // Untouched attributes stay at 1.0.
+  EXPECT_DOUBLE_EQ(model_.attribute_weights()[0], 1.0);
+}
+
+TEST_F(FeedbackTest, AcceptedSystemEditsLowerTheWeight) {
+  for (int i = 0; i < 3; ++i) log_.Record(ConditionEdit(1, EditSource::kSystem));
+  AdaptAttributeWeights(*ex_.schema, log_, 0, &model_);
+  EXPECT_LT(model_.attribute_weights()[1], 1.0);
+  EXPECT_NEAR(model_.attribute_weights()[1], 0.9 * 0.9 * 0.9, 1e-12);
+}
+
+TEST_F(FeedbackTest, ExpertCorrectionsRaiseTheWeight) {
+  for (int i = 0; i < 2; ++i) log_.Record(ConditionEdit(2, EditSource::kExpert));
+  FeedbackStats stats = AdaptAttributeWeights(*ex_.schema, log_, 0, &model_);
+  EXPECT_EQ(stats.expert_edits, 2u);
+  EXPECT_NEAR(model_.attribute_weights()[2], 1.1 * 1.1, 1e-12);
+}
+
+TEST_F(FeedbackTest, WeightsAreClamped) {
+  FeedbackOptions options;
+  options.step = 0.5;
+  for (int i = 0; i < 20; ++i) {
+    log_.Record(ConditionEdit(0, EditSource::kExpert));
+    log_.Record(ConditionEdit(1, EditSource::kSystem));
+  }
+  AdaptAttributeWeights(*ex_.schema, log_, 0, &model_, options);
+  EXPECT_DOUBLE_EQ(model_.attribute_weights()[0], options.max_weight);
+  EXPECT_DOUBLE_EQ(model_.attribute_weights()[1], options.min_weight);
+}
+
+TEST_F(FeedbackTest, BeginEditSkipsAlreadyProcessedHistory) {
+  log_.Record(ConditionEdit(1, EditSource::kExpert));
+  size_t mark = log_.size();
+  log_.Record(ConditionEdit(1, EditSource::kSystem));
+  FeedbackStats stats = AdaptAttributeWeights(*ex_.schema, log_, mark, &model_);
+  EXPECT_EQ(stats.expert_edits, 0u);
+  EXPECT_EQ(stats.system_edits, 1u);
+  EXPECT_LT(model_.attribute_weights()[1], 1.0);
+}
+
+TEST_F(FeedbackTest, NonConditionEditsAreIgnored) {
+  Edit add;
+  add.kind = EditKind::kAddRule;
+  add.source = EditSource::kExpert;
+  log_.Record(add);
+  FeedbackStats stats = AdaptAttributeWeights(*ex_.schema, log_, 0, &model_);
+  EXPECT_EQ(stats.expert_edits + stats.system_edits, 0u);
+}
+
+TEST_F(FeedbackTest, AdaptedWeightsReRankCandidates) {
+  // Two candidate rules for the same representative: one needs an amount
+  // extension of 4, the other a time extension of 3. Unweighted Equation 1
+  // prefers the time extension; after the expert repeatedly corrected
+  // time modifications, the amount extension wins.
+  Rule needs_amount = Parse("time in [18:00,18:05] && amount >= 110");  // dist 4
+  Rule needs_time = Parse("time in [18:05,18:30] && amount >= 100");    // dist 3
+  Rule rep = Parse("time in [18:02,18:03] && amount in [106,107]");
+  EXPECT_LT(model_.Distance(*ex_.schema, needs_time, rep),
+            model_.Distance(*ex_.schema, needs_amount, rep));
+  for (int i = 0; i < 6; ++i) log_.Record(ConditionEdit(0, EditSource::kExpert));
+  AdaptAttributeWeights(*ex_.schema, log_, 0, &model_);
+  EXPECT_GT(model_.Distance(*ex_.schema, needs_time, rep),
+            model_.Distance(*ex_.schema, needs_amount, rep));
+}
+
+TEST_F(FeedbackTest, EndToEndAdaptationBetweenRounds) {
+  // Run a refinement, adapt from its edit log, and verify the model learned
+  // a well-formed weight vector from the session's edit mix.
+  Scenario s = TinyScenario();
+  s.options.num_transactions = 3000;
+  Dataset ds = GenerateDataset(s.options);
+  RunnerOptions options;
+  options.rounds = 2;
+  ExperimentRunner runner(&ds, options);
+  RunResult result = runner.Run(Method::kRudolf);
+  CostModel model;
+  FeedbackStats stats =
+      AdaptAttributeWeights(*ds.cc.schema, result.log, 0, &model);
+  EXPECT_GT(stats.system_edits + stats.expert_edits, 0u);
+  ASSERT_EQ(model.attribute_weights().size(), ds.cc.schema->arity());
+  for (double w : model.attribute_weights()) {
+    EXPECT_GE(w, FeedbackOptions{}.min_weight);
+    EXPECT_LE(w, FeedbackOptions{}.max_weight);
+  }
+}
+
+}  // namespace
+}  // namespace rudolf

@@ -1,0 +1,116 @@
+// Cross-domain generality: the domain-agnostic OracleExpert (constructed
+// from KnownSchemes over the flow schema) drives the unchanged engines to
+// high-quality IDS rules, and session-level expert memories persist across
+// Refine() calls as new flows arrive.
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "expert/oracle_expert.h"
+#include "expert/scripted_expert.h"
+#include "metrics/quality.h"
+#include "workload/intrusion.h"
+
+namespace rudolf {
+namespace {
+
+class GeneralityTest : public ::testing::Test {
+ protected:
+  GeneralityTest() {
+    IntrusionOptions options;
+    options.num_flows = 8000;
+    options.intrusion_fraction = 0.03;
+    ds_ = GenerateIntrusionDataset(options, /*label_prefix_frac=*/0.5);
+    for (const IntrusionCampaign& c : ds_.campaigns) {
+      schemes_.push_back(KnownScheme{c.ToRule(ds_.fs), c.end_frac >= 1.0});
+    }
+  }
+  IntrusionDataset ds_;
+  std::vector<KnownScheme> schemes_;
+};
+
+TEST_F(GeneralityTest, GenericOracleRefinesIdsRulesWell) {
+  RuleSet rules = SynthesizeInitialIdsRules(ds_);
+  PredictionQuality before = EvaluateOnRange(*ds_.relation, rules, 4000, 8000);
+  OracleOptions options;  // zero noise: the pure expert behavior
+  OracleExpert analyst(ds_.fs.schema, schemes_, options, "soc");
+  RefinementSession session(*ds_.relation, SessionOptions{});
+  EditLog log;
+  session.Refine(4000, &rules, &analyst, &log);
+  PredictionQuality after = EvaluateOnRange(*ds_.relation, rules, 4000, 8000);
+  EXPECT_GT(after.Recall(), before.Recall());
+  // With the signatures known, the refined rules should be near-exact on
+  // the campaigns active in the labeled prefix.
+  EXPECT_LT(after.BalancedErrorPct(), before.BalancedErrorPct());
+  EXPECT_LT(after.FalsePositivePct(), 1.0);
+}
+
+TEST_F(GeneralityTest, GenericOracleRecognizesFlowSchemes) {
+  OracleOptions options;
+  OracleExpert analyst(ds_.fs.schema, schemes_, options, "soc");
+  // A representative inside a campaign is accepted (possibly revised to the
+  // exact signature).
+  GeneralizationProposal gp;
+  gp.rule_id = kInvalidRule;
+  gp.representative = schemes_[0].rule;
+  gp.proposed = schemes_[0].rule;
+  EXPECT_NE(analyst.ReviewGeneralization(gp, *ds_.relation).action,
+            GeneralizationReview::Action::kRejectCluster);
+  // A hull matching nothing is dismissed with its whole cluster.
+  Rule junk = Rule::Trivial(*ds_.fs.schema);
+  junk.set_condition(ds_.fs.layout.port, Condition::MakeNumeric({40000, 40010}));
+  junk.set_condition(ds_.fs.layout.kbytes, Condition::MakeNumeric({90000, 99999}));
+  gp.representative = junk;
+  gp.proposed = junk;
+  EXPECT_EQ(analyst.ReviewGeneralization(gp, *ds_.relation).action,
+            GeneralizationReview::Action::kRejectCluster);
+}
+
+TEST_F(GeneralityTest, ExpertMemoryPersistsAcrossRefineCalls) {
+  // A noise cluster dismissed in an early call must not be re-proposed in a
+  // later call of the same session (the engines and their memories live in
+  // the session object).
+  RuleSet rules = SynthesizeInitialIdsRules(ds_);
+  OracleOptions options;
+  OracleExpert analyst(ds_.fs.schema, schemes_, options, "soc");
+  RefinementSession session(*ds_.relation, SessionOptions{});
+  EditLog log;
+  session.Refine(3000, &rules, &analyst, &log);
+  double after_first = analyst.total_seconds();
+  // Same prefix again: everything is covered or remembered — the second
+  // call should cost (almost) no expert time.
+  session.Refine(3000, &rules, &analyst, &log);
+  double after_second = analyst.total_seconds();
+  EXPECT_LT(after_second - after_first, after_first * 0.25 + 30.0);
+}
+
+TEST_F(GeneralityTest, FreshSessionForgetsAndReviewsAgain) {
+  // Control for the memory test: a brand-new session re-reviews.
+  RuleSet rules = SynthesizeInitialIdsRules(ds_);
+  // Use an expert that rejects everything so nothing is ever covered and
+  // review volume is the signal.
+  ScriptedExpert reject_all_a;
+  GeneralizationReview reject;
+  reject.action = GeneralizationReview::Action::kReject;
+  for (int i = 0; i < 500; ++i) reject_all_a.PushGeneralization(reject);
+  {
+    RefinementSession session(*ds_.relation, SessionOptions{});
+    EditLog log;
+    session.Refine(3000, &rules, &reject_all_a, &log);
+  }
+  size_t first_session_reviews = reject_all_a.seen_generalizations().size();
+  ScriptedExpert reject_all_b;
+  for (int i = 0; i < 500; ++i) reject_all_b.PushGeneralization(reject);
+  {
+    RefinementSession session(*ds_.relation, SessionOptions{});
+    EditLog log;
+    session.Refine(3000, &rules, &reject_all_b, &log);
+  }
+  // The fresh session shows a comparable volume again (no cross-session
+  // memory) — plain rejections are re-reviewable by design.
+  EXPECT_GT(reject_all_b.seen_generalizations().size(),
+            first_session_reviews / 4);
+}
+
+}  // namespace
+}  // namespace rudolf

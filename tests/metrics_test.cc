@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "metrics/quality.h"
+#include "metrics/report.h"
+#include "rules/edit.h"
+#include "rules/parser.h"
+#include "workload/paper_example.h"
+
+namespace rudolf {
+namespace {
+
+TEST(PredictionQuality, EmptyRangeIsAllZero) {
+  PredictionQuality q;
+  EXPECT_DOUBLE_EQ(q.MissPct(), 0.0);
+  EXPECT_DOUBLE_EQ(q.FalsePositivePct(), 0.0);
+  EXPECT_DOUBLE_EQ(q.ErrorPct(), 0.0);
+  EXPECT_DOUBLE_EQ(q.BalancedErrorPct(), 0.0);
+  EXPECT_DOUBLE_EQ(q.F1(), 0.0);
+}
+
+TEST(PredictionQuality, DerivedRates) {
+  PredictionQuality q;
+  q.rows = 100;
+  q.true_fraud = 10;
+  q.true_legit = 90;
+  q.fraud_captured = 8;
+  q.fraud_missed = 2;
+  q.legit_captured = 9;
+  EXPECT_DOUBLE_EQ(q.MissPct(), 20.0);
+  EXPECT_DOUBLE_EQ(q.FalsePositivePct(), 10.0);
+  EXPECT_DOUBLE_EQ(q.ErrorPct(), 11.0);
+  EXPECT_DOUBLE_EQ(q.BalancedErrorPct(), 15.0);
+  EXPECT_DOUBLE_EQ(q.Recall(), 0.8);
+  EXPECT_NEAR(q.Precision(), 8.0 / 17.0, 1e-12);
+}
+
+TEST(PredictionQuality, CaptureNothingScoresBalanced50) {
+  PredictionQuality q;
+  q.rows = 100;
+  q.true_fraud = 5;
+  q.true_legit = 95;
+  q.fraud_missed = 5;
+  EXPECT_DOUBLE_EQ(q.BalancedErrorPct(), 50.0);
+  // Plain error looks deceptively good on imbalanced data.
+  EXPECT_DOUBLE_EQ(q.ErrorPct(), 5.0);
+}
+
+TEST(EvaluateOnRange, UsesGroundTruthOnTheGivenWindow) {
+  PaperExample ex = MakePaperExample();
+  // Rule capturing exactly the two online-store frauds at 18:02/18:03.
+  RuleSet rules;
+  rules.AddRule(
+      ParseRule(*ex.schema, "time in [18:02,18:03]").ValueOrDie());
+  PredictionQuality q = EvaluateOnRange(*ex.relation, rules, 0, 10);
+  EXPECT_EQ(q.rows, 10u);
+  EXPECT_EQ(q.true_fraud, 6u);
+  EXPECT_EQ(q.fraud_captured, 2u);
+  EXPECT_EQ(q.fraud_missed, 4u);
+  EXPECT_EQ(q.legit_captured, 0u);
+  // Restricting to the last five rows sees only the gas-station frauds.
+  PredictionQuality tail = EvaluateOnRange(*ex.relation, rules, 5, 10);
+  EXPECT_EQ(tail.rows, 5u);
+  EXPECT_EQ(tail.true_fraud, 3u);
+  EXPECT_EQ(tail.fraud_captured, 0u);
+}
+
+TEST(EvaluateOnRange, DegenerateRanges) {
+  PaperExample ex = MakePaperExample();
+  RuleSet rules;
+  EXPECT_EQ(EvaluateOnRange(*ex.relation, rules, 5, 5).rows, 0u);
+  EXPECT_EQ(EvaluateOnRange(*ex.relation, rules, 8, 100).rows, 2u);  // clamped
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer-name", "12345"});
+  std::string out = table.ToString();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Labels left-aligned, numbers right-aligned.
+  EXPECT_NE(out.find("name         value"), std::string::npos);
+  EXPECT_NE(out.find("a                1"), std::string::npos);
+  EXPECT_NE(out.find("longer-name  12345"), std::string::npos);
+}
+
+TEST(TablePrinter, Formatters) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Int(-42), "-42");
+  EXPECT_EQ(TablePrinter::Pct(12.345, 1), "12.3%");
+}
+
+TEST(EditLogUpdates, GroupsCountAsOneUpdate) {
+  EditLog log;
+  uint64_t g = log.NewGroup();
+  for (int i = 0; i < 3; ++i) {
+    Edit e;
+    e.kind = EditKind::kModifyCondition;
+    e.group = g;
+    log.Record(e);
+  }
+  Edit single;
+  single.kind = EditKind::kAddRule;
+  log.Record(single);  // group 0: its own update
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.NumUpdates(), 2u);
+}
+
+TEST(EditLogUpdates, DistinctGroupsCounted) {
+  EditLog log;
+  for (int u = 0; u < 3; ++u) {
+    uint64_t g = log.NewGroup();
+    for (int i = 0; i < 2; ++i) {
+      Edit e;
+      e.group = g;
+      log.Record(e);
+    }
+  }
+  EXPECT_EQ(log.NumUpdates(), 3u);
+  log.Reset();
+  EXPECT_EQ(log.NumUpdates(), 0u);
+}
+
+}  // namespace
+}  // namespace rudolf

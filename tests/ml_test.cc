@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/naive_bayes.h"
+#include "ml/threshold.h"
+#include "workload/generator.h"
+#include "workload/scenarios.h"
+
+namespace rudolf {
+namespace {
+
+TEST(GaussianStats, MeanAndVariance) {
+  GaussianStats g;
+  for (double v : {2.0, 4.0, 6.0}) g.Add(v);
+  EXPECT_DOUBLE_EQ(g.Mean(), 4.0);
+  EXPECT_NEAR(g.Variance(), 8.0 / 3.0, 1e-9);
+}
+
+TEST(GaussianStats, VarianceFloored) {
+  GaussianStats g;
+  g.Add(5.0);
+  g.Add(5.0);
+  EXPECT_GE(g.Variance(), 1e-6);
+  GaussianStats empty;
+  EXPECT_DOUBLE_EQ(empty.Variance(), 1.0);
+}
+
+TEST(GaussianStats, LogDensityPeaksAtMean) {
+  GaussianStats g;
+  for (double v : {0.0, 10.0, 20.0}) g.Add(v);
+  EXPECT_GT(g.LogDensity(10.0), g.LogDensity(0.0));
+  EXPECT_GT(g.LogDensity(10.0), g.LogDensity(25.0));
+}
+
+TEST(CategoricalStats, LaplaceSmoothing) {
+  CategoricalStats c;
+  c.Resize(3);
+  c.Add(0);
+  c.Add(0);
+  c.Add(1);
+  // Unseen concept still has nonzero probability.
+  EXPECT_GT(c.LogProbability(2, 1.0), std::log(0.0 + 1e-12));
+  EXPECT_GT(c.LogProbability(0, 1.0), c.LogProbability(1, 1.0));
+  EXPECT_GT(c.LogProbability(1, 1.0), c.LogProbability(2, 1.0));
+}
+
+class NaiveBayesTest : public ::testing::Test {
+ protected:
+  NaiveBayesTest() {
+    Scenario s = TinyScenario();
+    s.options.num_transactions = 2000;
+    ds_ = GenerateDataset(s.options);
+    // Reveal everything with ground truth for training.
+    for (size_t r = 0; r < ds_.relation->NumRows(); ++r) {
+      ds_.relation->SetVisibleLabel(r, ds_.relation->TrueLabel(r));
+    }
+  }
+  Dataset ds_;
+};
+
+TEST_F(NaiveBayesTest, TrainRequiresBothClasses) {
+  Relation empty(ds_.cc.schema);
+  NaiveBayesScorer scorer;
+  EXPECT_FALSE(scorer.TrainOnAll(empty).ok());
+  EXPECT_FALSE(scorer.trained());
+}
+
+TEST_F(NaiveBayesTest, SeparatesFraudFromLegit) {
+  NaiveBayesScorer::Options opt;
+  opt.exclude_attributes = {ds_.cc.layout.risk_score};
+  NaiveBayesScorer scorer(opt);
+  ASSERT_TRUE(scorer.TrainOnAll(*ds_.relation).ok());
+  double fraud_sum = 0;
+  double legit_sum = 0;
+  size_t fraud_n = 0;
+  size_t legit_n = 0;
+  for (size_t r = 0; r < ds_.relation->NumRows(); ++r) {
+    double p = scorer.FraudProbability(*ds_.relation, r);
+    if (ds_.relation->TrueLabel(r) == Label::kFraud) {
+      fraud_sum += p;
+      ++fraud_n;
+    } else {
+      legit_sum += p;
+      ++legit_n;
+    }
+  }
+  ASSERT_GT(fraud_n, 0u);
+  // The average fraud probability of true frauds must clearly exceed that
+  // of legitimate transactions.
+  EXPECT_GT(fraud_sum / fraud_n, 3.0 * (legit_sum / legit_n));
+}
+
+TEST_F(NaiveBayesTest, RiskScoreInRange) {
+  NaiveBayesScorer scorer;
+  ASSERT_TRUE(scorer.TrainOnAll(*ds_.relation).ok());
+  for (size_t r = 0; r < 100; ++r) {
+    int s = scorer.RiskScore(*ds_.relation, r);
+    EXPECT_GE(s, 0);
+    EXPECT_LE(s, 1000);
+  }
+}
+
+TEST_F(NaiveBayesTest, UntrainedScorerReturnsZero) {
+  NaiveBayesScorer scorer;
+  EXPECT_DOUBLE_EQ(scorer.FraudProbability(*ds_.relation, 0), 0.0);
+}
+
+TEST_F(NaiveBayesTest, ExcludedAttributeHasNoInfluence) {
+  NaiveBayesScorer::Options opt;
+  opt.exclude_attributes = {ds_.cc.layout.risk_score};
+  NaiveBayesScorer scorer(opt);
+  ASSERT_TRUE(scorer.TrainOnAll(*ds_.relation).ok());
+  double before = scorer.FraudProbability(*ds_.relation, 0);
+  ds_.relation->SetCell(0, ds_.cc.layout.risk_score, 999);
+  EXPECT_DOUBLE_EQ(scorer.FraudProbability(*ds_.relation, 0), before);
+}
+
+TEST_F(NaiveBayesTest, ThresholdRuleCapturesHighScores) {
+  Rule rule = MakeThresholdRule(*ds_.cc.schema, ds_.cc.layout.risk_score, 700);
+  EXPECT_EQ(rule.condition(ds_.cc.layout.risk_score).interval(),
+            Interval::AtLeast(700));
+  EXPECT_EQ(rule.NumNonTrivial(*ds_.cc.schema), 1u);
+}
+
+TEST_F(NaiveBayesTest, TuneThresholdBeatsExtremes) {
+  std::vector<size_t> rows(ds_.relation->NumRows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  int t = TuneScoreThreshold(*ds_.relation, rows, ds_.cc.layout.risk_score);
+  ASSERT_GE(t, 0);
+  ASSERT_LE(t, 1001);
+  auto f1_at = [&](int threshold) {
+    size_t tp = 0;
+    size_t fp = 0;
+    size_t fn = 0;
+    for (size_t r : rows) {
+      bool flagged = ds_.relation->Get(r, ds_.cc.layout.risk_score) >= threshold;
+      bool fraud = ds_.relation->VisibleLabel(r) == Label::kFraud;
+      if (flagged && fraud) ++tp;
+      if (flagged && !fraud) ++fp;
+      if (!flagged && fraud) ++fn;
+    }
+    return 2.0 * tp / static_cast<double>(2 * tp + fp + fn);
+  };
+  EXPECT_GE(f1_at(t), f1_at(1));
+  EXPECT_GE(f1_at(t), f1_at(999));
+  EXPECT_GE(f1_at(t), f1_at(500));
+}
+
+TEST(TuneThreshold, NoFraudMeansCaptureNothing) {
+  auto cc = MakeCreditCardSchema();
+  Relation rel(cc.schema);
+  ConceptId type = cc.type_ontology->Leaves()[0];
+  ConceptId loc = cc.location_ontology->Leaves()[0];
+  ConceptId client = cc.client_ontology->Leaves()[0];
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(rel.AppendRow({i, 10, type, loc, client, 0, i * 100},
+                              Label::kLegitimate, Label::kLegitimate)
+                    .ok());
+  }
+  std::vector<size_t> rows(10);
+  for (size_t i = 0; i < 10; ++i) rows[i] = i;
+  EXPECT_EQ(TuneScoreThreshold(rel, rows, cc.layout.risk_score), 1001);
+}
+
+TEST(TuneThreshold, PerfectlySeparableData) {
+  auto cc = MakeCreditCardSchema();
+  Relation rel(cc.schema);
+  ConceptId type = cc.type_ontology->Leaves()[0];
+  ConceptId loc = cc.location_ontology->Leaves()[0];
+  ConceptId client = cc.client_ontology->Leaves()[0];
+  for (int i = 0; i < 20; ++i) {
+    bool fraud = i >= 15;
+    Label l = fraud ? Label::kFraud : Label::kLegitimate;
+    ASSERT_TRUE(
+        rel.AppendRow({i, 10, type, loc, client, 0, fraud ? 900 : 100}, l, l)
+            .ok());
+  }
+  std::vector<size_t> rows(20);
+  for (size_t i = 0; i < 20; ++i) rows[i] = i;
+  int t = TuneScoreThreshold(rel, rows, cc.layout.risk_score);
+  EXPECT_GT(t, 100);
+  EXPECT_LE(t, 900);
+}
+
+}  // namespace
+}  // namespace rudolf

@@ -1,0 +1,98 @@
+#include "ontology/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "ontology/builders.h"
+
+namespace rudolf {
+namespace {
+
+TEST(OntologySerialization, RoundTripsTypeOntology) {
+  auto original = BuildTransactionTypeOntology();
+  std::string text = OntologyToString(*original);
+  auto loaded = OntologyFromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Ontology& o = **loaded;
+  EXPECT_EQ(o.name(), original->name());
+  EXPECT_EQ(o.size(), original->size());
+  for (ConceptId c = 0; c < o.size(); ++c) {
+    EXPECT_EQ(o.NameOf(c), original->NameOf(c));
+    EXPECT_EQ(o.ParentsOf(c), original->ParentsOf(c));
+  }
+}
+
+TEST(OntologySerialization, RoundTripsGeoOntology) {
+  GeoOntologyOptions opt;
+  opt.num_regions = 2;
+  auto original = BuildGeoOntology(opt);
+  auto loaded = OntologyFromString(OntologyToString(*original));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->size(), original->size());
+  // Multi-parent edges preserved.
+  ConceptId v = (*loaded)->Find("Gas Station City 1.1 #1").ValueOrDie();
+  EXPECT_EQ((*loaded)->ParentsOf(v).size(), 2u);
+}
+
+TEST(OntologySerialization, ParsesCommentsAndBlankLines) {
+  auto r = OntologyFromString(
+      "# a comment\n"
+      "ontology things\n"
+      "\n"
+      "top All\n"
+      "concept X :: All\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->name(), "things");
+  EXPECT_EQ((*r)->NameOf(0), "All");
+  EXPECT_TRUE((*r)->Find("X").ok());
+}
+
+TEST(OntologySerialization, ConceptNamesMayContainCommasAndSpaces) {
+  auto r = OntologyFromString(
+      "ontology t\ntop Any\nconcept Online, no CCV :: Any\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)->Find("Online, no CCV").ok());
+}
+
+TEST(OntologySerialization, RejectsUnknownParent) {
+  auto r = OntologyFromString("ontology t\ntop Any\nconcept X :: Nope\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(OntologySerialization, RejectsMalformedConceptLine) {
+  auto r = OntologyFromString("ontology t\ntop Any\nconcept X - Any\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(OntologySerialization, RejectsHeaderAfterConcepts) {
+  auto r = OntologyFromString("concept X :: Any\nontology late\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(OntologySerialization, RejectsUnknownDirective) {
+  auto r = OntologyFromString("wibble\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(OntologySerialization, SaveAndLoadFile) {
+  auto original = BuildClientTypeOntology();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "rudolf_ont_test.ont").string();
+  ASSERT_TRUE(SaveOntology(*original, path).ok());
+  auto loaded = LoadOntology(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->size(), original->size());
+  std::remove(path.c_str());
+}
+
+TEST(OntologySerialization, LoadMissingFileFails) {
+  auto r = LoadOntology("/nonexistent/path/x.ont");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace rudolf

@@ -1,0 +1,213 @@
+// The oracle expert's "further modifications" behaviors (Algorithm 2 line
+// 13 / Example 4.7): pruning fraud-free split fragments, retightening
+// over-widened rules, deleting junk rules, tolerating stray captures on
+// verified signatures, and the relaxed pattern recognition used when the
+// system cannot hold categorical conditions (RUDOLF -s).
+
+#include <gtest/gtest.h>
+
+#include "core/capture_tracker.h"
+#include "cluster/representative.h"
+#include "core/specialize.h"
+#include "expert/oracle_expert.h"
+#include "workload/scenarios.h"
+
+namespace rudolf {
+namespace {
+
+class OracleRepairTest : public ::testing::Test {
+ protected:
+  OracleRepairTest() {
+    Scenario s = TinyScenario();
+    s.options.num_transactions = 2500;
+    ds_ = GenerateDataset(s.options);
+    Rng rng(1);
+    RevealLabels(ds_.relation.get(), 0, 2500, 0.95, 0.05, 0.002, &rng);
+    legit_row_ = ds_.relation->RowsWithVisibleLabel(Label::kLegitimate)[0];
+  }
+
+  // Builds a split proposal with the given shape.
+  SplitProposal MakeProposal(const Rule& original, std::vector<Rule> replacements,
+                             std::vector<LabelCounts> counts) {
+    SplitProposal p;
+    p.rule_id = 0;
+    p.original = original;
+    p.excluded_row = legit_row_;
+    p.excluded = ds_.relation->GetRow(legit_row_);
+    p.replacements = std::move(replacements);
+    p.replacement_counts = std::move(counts);
+    return p;
+  }
+
+  Dataset ds_;
+  size_t legit_row_ = 0;
+};
+
+TEST_F(OracleRepairTest, PrunesFraudFreeFragments) {
+  OracleOptions options;  // zero noise
+  OracleExpert expert(ds_, options);
+  // A pattern-contained rule split into two fragments, one without fraud.
+  Rule pattern_rule = ds_.patterns[0].ToRule(ds_.cc);
+  Rule narrowed = pattern_rule;  // stand-ins; containment is what matters
+  LabelCounts with_fraud;
+  with_fraud.fraud = 5;
+  LabelCounts without_fraud;
+  without_fraud.unlabeled = 3;
+  SplitProposal p = MakeProposal(pattern_rule, {narrowed, narrowed},
+                                 {with_fraud, without_fraud});
+  p.delta.legit = 5;  // enough benefit to clear the tolerance check
+  SplitReview review = expert.ReviewSplit(p, *ds_.relation);
+  ASSERT_EQ(review.action, SplitReview::Action::kAcceptRevised);
+  EXPECT_EQ(review.revised.size(), 1u);  // the fraud-free fragment dropped
+}
+
+TEST_F(OracleRepairTest, ToleratesStrayCapturesOnVerifiedSignature) {
+  OracleOptions options;
+  OracleExpert expert(ds_, options);
+  Rule pattern_rule = ds_.patterns[0].ToRule(ds_.cc);
+  LabelCounts counts;
+  counts.fraud = 10;
+  SplitProposal p = MakeProposal(pattern_rule, {pattern_rule}, {counts});
+  p.delta.legit = 1;  // splitting would merely shave one stray report
+  EXPECT_EQ(expert.ReviewSplit(p, *ds_.relation).action,
+            SplitReview::Action::kReject);
+}
+
+TEST_F(OracleRepairTest, RetightensOverWidenedRule) {
+  OracleOptions options;
+  OracleExpert expert(ds_, options);
+  // A rule that swallowed a whole signature: widen the pattern rule.
+  Rule pattern_rule = ds_.patterns[0].ToRule(ds_.cc);
+  Rule widened = pattern_rule;
+  widened.set_condition(ds_.cc.layout.amount,
+                        Condition::MakeNumeric(Interval::AtLeast(1)));
+  widened.set_condition(ds_.cc.layout.time,
+                        Condition::MakeNumeric(Interval::All()));
+  LabelCounts counts;
+  counts.fraud = 10;
+  counts.legitimate = 50;
+  SplitProposal p = MakeProposal(widened, {widened}, {counts});
+  SplitReview review = expert.ReviewSplit(p, *ds_.relation);
+  ASSERT_EQ(review.action, SplitReview::Action::kAcceptRevised);
+  ASSERT_EQ(review.revised.size(), 1u);
+  EXPECT_EQ(review.revised[0], pattern_rule);
+}
+
+TEST_F(OracleRepairTest, DeletesJunkRuleCapturingNoFraud) {
+  OracleOptions options;
+  OracleExpert expert(ds_, options);
+  // A rule matching no scheme (absurd window) capturing almost no fraud.
+  Rule junk = Rule::Trivial(*ds_.cc.schema);
+  junk.set_condition(ds_.cc.layout.time, Condition::MakeNumeric({100, 140}));
+  junk.set_condition(ds_.cc.layout.amount, Condition::MakeNumeric({4000, 5000}));
+  LabelCounts counts;
+  counts.fraud = 1;  // one mislabeled row
+  counts.unlabeled = 7;
+  SplitProposal p = MakeProposal(junk, {junk, junk}, {counts, counts});
+  SplitReview review = expert.ReviewSplit(p, *ds_.relation);
+  ASSERT_EQ(review.action, SplitReview::Action::kAcceptRevised);
+  EXPECT_TRUE(review.revised.empty());  // delete the rule outright
+}
+
+TEST_F(OracleRepairTest, RelaxedRecognitionIgnoresUnconstrainedAttributes) {
+  OracleOptions options;
+  OracleExpert expert(ds_, options);
+  // A RUDOLF -s style representative: the pattern's numeric signature with
+  // trivial categorical conditions.
+  const AttackPattern& pattern = ds_.patterns[0];
+  Rule rep = pattern.ToRule(ds_.cc);
+  rep.set_condition(ds_.cc.layout.location,
+                    Condition::TrivialFor(
+                        ds_.cc.schema->attribute(ds_.cc.layout.location)));
+  rep.set_condition(ds_.cc.layout.type,
+                    Condition::TrivialFor(
+                        ds_.cc.schema->attribute(ds_.cc.layout.type)));
+  GeneralizationProposal gp;
+  gp.rule_id = kInvalidRule;
+  gp.representative = rep;
+  gp.proposed = rep;
+  GeneralizationReview review = expert.ReviewGeneralization(gp, *ds_.relation);
+  // Recognized despite the trivial categorical conditions; the revision
+  // must not smuggle categorical refinements back in.
+  EXPECT_NE(review.action, GeneralizationReview::Action::kRejectCluster);
+  if (review.action == GeneralizationReview::Action::kAcceptRevised) {
+    EXPECT_TRUE(review.revised
+                    .condition(ds_.cc.layout.location)
+                    .IsTrivial(ds_.cc.schema->attribute(ds_.cc.layout.location)));
+    // The revision still covers the representative.
+    EXPECT_TRUE(review.revised.ContainsRule(*ds_.cc.schema, rep));
+  }
+}
+
+TEST_F(OracleRepairTest, RevisionAlwaysCoversTheRepresentative) {
+  OracleOptions options;
+  OracleExpert expert(ds_, options);
+  // Representative narrower than the pattern on some attributes, wider on
+  // none: revision = pattern conditions where they contain the rep.
+  const AttackPattern& pattern = ds_.patterns[0];
+  Rule rep = pattern.ToRule(ds_.cc);
+  Interval amt = rep.condition(ds_.cc.layout.amount).interval();
+  amt.lo += 5;
+  if (amt.hi == kPosInf) amt.hi = amt.lo + 25;
+  rep.set_condition(ds_.cc.layout.amount, Condition::MakeNumeric(amt));
+  GeneralizationProposal gp;
+  gp.rule_id = kInvalidRule;
+  gp.representative = rep;
+  gp.proposed = rep;
+  GeneralizationReview review = expert.ReviewGeneralization(gp, *ds_.relation);
+  if (review.action == GeneralizationReview::Action::kAcceptRevised) {
+    EXPECT_TRUE(review.revised.ContainsRule(*ds_.cc.schema, rep));
+  }
+}
+
+
+TEST_F(OracleRepairTest, MixedClusterAdoptedByMajorityVote) {
+  OracleOptions options;  // zero noise
+  OracleExpert expert(ds_, options);
+  // A cluster that is mostly one pattern's rows plus one stray: the hull is
+  // contained in no pattern, but the expert reads the rows.
+  const AttackPattern& pattern = ds_.patterns[0];
+  std::vector<size_t> rows;
+  for (size_t r = 0; r < ds_.relation->NumRows() && rows.size() < 8; ++r) {
+    if (ds_.relation->TrueLabel(r) == Label::kFraud &&
+        pattern.Matches(ds_.cc, ds_.relation->GetRow(r))) {
+      rows.push_back(r);
+    }
+  }
+  ASSERT_GE(rows.size(), 4u);
+  // A stray legitimate row poisons the hull.
+  rows.push_back(ds_.relation->RowsWithTrueLabel(Label::kLegitimate)[0]);
+  Rule hull = RepresentativeOfRows(*ds_.relation, rows);
+  ASSERT_FALSE(pattern.ToRule(ds_.cc).ContainsRule(*ds_.cc.schema, hull));
+
+  GeneralizationProposal gp;
+  gp.rule_id = kInvalidRule;  // the new-rule offer
+  gp.representative = hull;
+  gp.proposed = hull;
+  gp.cluster_rows = rows;
+  GeneralizationReview review = expert.ReviewGeneralization(gp, *ds_.relation);
+  ASSERT_EQ(review.action, GeneralizationReview::Action::kAcceptRevised);
+  EXPECT_EQ(review.revised, pattern.ToRule(ds_.cc));
+}
+
+TEST_F(OracleRepairTest, PureNoiseClusterStillDismissed) {
+  OracleOptions options;
+  OracleExpert expert(ds_, options);
+  // Rows from legitimate background only.
+  std::vector<size_t> rows;
+  for (size_t r : ds_.relation->RowsWithTrueLabel(Label::kLegitimate)) {
+    rows.push_back(r);
+    if (rows.size() == 6) break;
+  }
+  Rule hull = RepresentativeOfRows(*ds_.relation, rows);
+  GeneralizationProposal gp;
+  gp.rule_id = kInvalidRule;
+  gp.representative = hull;
+  gp.proposed = hull;
+  gp.cluster_rows = rows;
+  EXPECT_EQ(expert.ReviewGeneralization(gp, *ds_.relation).action,
+            GeneralizationReview::Action::kRejectCluster);
+}
+
+}  // namespace
+}  // namespace rudolf

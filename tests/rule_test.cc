@@ -1,0 +1,156 @@
+#include "rules/rule.h"
+
+#include <gtest/gtest.h>
+
+#include "rules/parser.h"
+#include "workload/paper_example.h"
+
+namespace rudolf {
+namespace {
+
+class RuleTest : public ::testing::Test {
+ protected:
+  RuleTest() : ex_(MakePaperExample()) {}
+  const Schema& schema() const { return *ex_.schema; }
+  Rule Parse(const std::string& text) {
+    auto r = ParseRule(schema(), text);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ValueOrDie();
+  }
+  PaperExample ex_;
+};
+
+TEST_F(RuleTest, TrivialMatchesEverything) {
+  Rule t = Rule::Trivial(schema());
+  for (size_t r = 0; r < ex_.relation->NumRows(); ++r) {
+    EXPECT_TRUE(t.MatchesRow(*ex_.relation, r));
+  }
+  EXPECT_EQ(t.NumNonTrivial(schema()), 0u);
+  EXPECT_EQ(t.ToString(schema()), "TRUE");
+}
+
+TEST_F(RuleTest, ExactlySelectsOnlyThatTuple) {
+  Tuple row0 = ex_.relation->GetRow(0);
+  Rule exact = Rule::Exactly(schema(), row0);
+  EXPECT_TRUE(exact.MatchesTuple(schema(), row0));
+  for (size_t r = 1; r < ex_.relation->NumRows(); ++r) {
+    EXPECT_FALSE(exact.MatchesRow(*ex_.relation, r)) << r;
+  }
+}
+
+TEST_F(RuleTest, MatchesRowHonorsAllConditions) {
+  Rule r = Parse("time in [18:00,18:05] && amount >= 110");
+  EXPECT_FALSE(r.MatchesRow(*ex_.relation, 0));  // amount 107 < 110
+  EXPECT_TRUE(r.MatchesRow(*ex_.relation, 2));   // 18:04, 112
+  EXPECT_FALSE(r.MatchesRow(*ex_.relation, 3));  // 19:08 outside window
+}
+
+TEST_F(RuleTest, CategoricalConditionMatchesSubtree) {
+  Rule r = Parse("type <= 'Online'");
+  EXPECT_TRUE(r.MatchesRow(*ex_.relation, 0));   // Online, no CCV
+  EXPECT_TRUE(r.MatchesRow(*ex_.relation, 2));   // Online, with CCV
+  EXPECT_FALSE(r.MatchesRow(*ex_.relation, 5));  // Offline, without PIN
+}
+
+TEST_F(RuleTest, ContainsRule) {
+  Rule wide = Parse("time in [18:00,19:00] && amount >= 100");
+  Rule narrow = Parse("time in [18:10,18:20] && amount >= 150");
+  EXPECT_TRUE(wide.ContainsRule(schema(), narrow));
+  EXPECT_FALSE(narrow.ContainsRule(schema(), wide));
+  EXPECT_TRUE(Rule::Trivial(schema()).ContainsRule(schema(), wide));
+}
+
+TEST_F(RuleTest, ContainsRuleCategorical) {
+  Rule online = Parse("type <= 'Online'");
+  Rule no_ccv = Parse("type = 'Online, no CCV'");
+  EXPECT_TRUE(online.ContainsRule(schema(), no_ccv));
+  EXPECT_FALSE(no_ccv.ContainsRule(schema(), online));
+}
+
+TEST_F(RuleTest, DistanceToSumsAttributes) {
+  // Example 4.4: rule 1 vs representative [18:02,18:03]×[106,107]:
+  // time 0 + amount 4 + type 0 + location 0 = 4.
+  Rule rule1 = Parse("time in [18:00,18:05] && amount >= 110");
+  Rule rep = Parse(
+      "time in [18:02,18:03] && amount in [106,107] && "
+      "type = 'Online, no CCV' && location = 'Online Store'");
+  EXPECT_EQ(rule1.DistanceTo(schema(), rep), 4);
+  // Rule 2 (reconstructed as [18:55,19:05]): 53 + 4 = 57.
+  Rule rule2 = Parse("time in [18:55,19:05] && amount >= 110");
+  EXPECT_EQ(rule2.DistanceTo(schema(), rep), 57);
+}
+
+TEST_F(RuleTest, DistanceIncludesOntologicalSteps) {
+  Rule rule3 = Parse(
+      "time in [21:00,21:15] && amount >= 40 && location = 'GAS Station A'");
+  Rule gas_b_rep = Parse(
+      "time in [20:53,20:55] && amount in [44,48] && "
+      "type = 'Offline, without PIN' && location = 'GAS Station B'");
+  // time: 21:00−20:53 = 7; amount 0; type 0; location: A→'Gas Station' = 1.
+  EXPECT_EQ(rule3.DistanceTo(schema(), gas_b_rep), 8);
+}
+
+TEST_F(RuleTest, WeightedDistance) {
+  Rule rule1 = Parse("time in [18:00,18:05] && amount >= 110");
+  Rule rep = Parse("time in [18:10,18:12] && amount in [106,107]");
+  // time distance 7, amount distance 4.
+  std::vector<double> weights = {0.5, 2.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(rule1.WeightedDistanceTo(schema(), rep, weights),
+                   0.5 * 7 + 2.0 * 4);
+}
+
+TEST_F(RuleTest, SmallestGeneralizationCoversTarget) {
+  Rule rule1 = Parse("time in [18:00,18:05] && amount >= 110");
+  Rule rep = Parse(
+      "time in [18:02,18:03] && amount in [106,107] && "
+      "type = 'Online, no CCV' && location = 'Online Store'");
+  Rule g = rule1.SmallestGeneralizationFor(schema(), rep);
+  EXPECT_TRUE(g.ContainsRule(schema(), rep));
+  // Only amount needed changing (time window already contains; type and
+  // location were trivial).
+  EXPECT_EQ(g.condition(1).interval(), Interval::AtLeast(106));
+  EXPECT_EQ(g.condition(0), rule1.condition(0));
+  EXPECT_EQ(rule1.DiffAttributes(g), (std::vector<size_t>{1}));
+}
+
+TEST_F(RuleTest, SmallestGeneralizationClimbsOntology) {
+  Rule rule3 = Parse(
+      "time in [21:00,21:15] && amount >= 40 && location = 'GAS Station A'");
+  Rule rep = Parse(
+      "time in [20:53,20:55] && amount in [44,48] && "
+      "type = 'Offline, without PIN' && location = 'GAS Station B'");
+  Rule g = rule3.SmallestGeneralizationFor(schema(), rep);
+  EXPECT_TRUE(g.ContainsRule(schema(), rep));
+  const AttributeDef& loc = schema().attribute(3);
+  EXPECT_EQ(loc.ontology->NameOf(g.condition(3).concept_id()), "Gas Station");
+}
+
+TEST_F(RuleTest, HasEmptyCondition) {
+  Rule r = Rule::Trivial(schema());
+  EXPECT_FALSE(r.HasEmptyCondition());
+  r.set_condition(1, Condition::MakeNumeric({5, 3}));
+  EXPECT_TRUE(r.HasEmptyCondition());
+}
+
+TEST_F(RuleTest, ToStringOmitsTrivialConditions) {
+  Rule r = Parse("amount >= 40 && location <= 'Gas Station'");
+  EXPECT_EQ(r.ToString(schema()), "amount >= 40 && location <= 'Gas Station'");
+}
+
+TEST_F(RuleTest, NumNonTrivial) {
+  EXPECT_EQ(Parse("amount >= 40").NumNonTrivial(schema()), 1u);
+  EXPECT_EQ(Parse("time in [1:00,2:00] && amount >= 40 && type <= 'Online'")
+                .NumNonTrivial(schema()),
+            3u);
+}
+
+TEST_F(RuleTest, EqualityAndDiff) {
+  Rule a = Parse("amount >= 40");
+  Rule b = Parse("amount >= 40");
+  EXPECT_EQ(a, b);
+  Rule c = Parse("amount >= 41 && type <= 'Online'");
+  EXPECT_EQ(a.DiffAttributes(c), (std::vector<size_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace rudolf

@@ -1,0 +1,160 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+namespace rudolf {
+namespace {
+
+TEST(Bitset, StartsAllClear) {
+  Bitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(Bitset, ConstructAllSet) {
+  Bitset b(70, true);
+  EXPECT_EQ(b.Count(), 70u);
+  EXPECT_TRUE(b.Test(69));
+}
+
+TEST(Bitset, SetClearTest) {
+  Bitset b(130);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(Bitset, FillTrueRespectsPadding) {
+  Bitset b(65);
+  b.Fill(true);
+  EXPECT_EQ(b.Count(), 65u);
+  b.Fill(false);
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(Bitset, CountPrefix) {
+  Bitset b(200);
+  b.Set(10);
+  b.Set(63);
+  b.Set(64);
+  b.Set(150);
+  EXPECT_EQ(b.CountPrefix(0), 0u);
+  EXPECT_EQ(b.CountPrefix(10), 0u);
+  EXPECT_EQ(b.CountPrefix(11), 1u);
+  EXPECT_EQ(b.CountPrefix(64), 2u);
+  EXPECT_EQ(b.CountPrefix(65), 3u);
+  EXPECT_EQ(b.CountPrefix(500), 4u);  // clamped to size
+}
+
+TEST(Bitset, UnionIntersectionDifference) {
+  Bitset a(10);
+  Bitset b(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  Bitset u = a | b;
+  EXPECT_EQ(u.Count(), 3u);
+  Bitset i = a & b;
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Test(2));
+  Bitset d = a;
+  d.Subtract(b);
+  EXPECT_EQ(d.Count(), 1u);
+  EXPECT_TRUE(d.Test(1));
+}
+
+TEST(Bitset, IntersectCountWithoutMaterializing) {
+  Bitset a(300);
+  Bitset b(300);
+  for (size_t i = 0; i < 300; i += 3) a.Set(i);
+  for (size_t i = 0; i < 300; i += 5) b.Set(i);
+  size_t expected = 0;
+  for (size_t i = 0; i < 300; i += 15) ++expected;
+  EXPECT_EQ(a.IntersectCount(b), expected);
+}
+
+TEST(Bitset, DifferenceCount) {
+  Bitset a(100);
+  Bitset b(100);
+  a.Set(1);
+  a.Set(2);
+  a.Set(3);
+  b.Set(2);
+  EXPECT_EQ(a.DifferenceCount(b), 2u);
+  EXPECT_EQ(b.DifferenceCount(a), 0u);
+}
+
+TEST(Bitset, Equality) {
+  Bitset a(50);
+  Bitset b(50);
+  EXPECT_EQ(a, b);
+  a.Set(7);
+  EXPECT_FALSE(a == b);
+  b.Set(7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Bitset, ForEachVisitsAscending) {
+  Bitset b(150);
+  b.Set(5);
+  b.Set(64);
+  b.Set(149);
+  std::vector<size_t> visited;
+  b.ForEach([&](size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, (std::vector<size_t>{5, 64, 149}));
+}
+
+TEST(Bitset, ToIndices) {
+  Bitset b(10);
+  b.Set(0);
+  b.Set(9);
+  EXPECT_EQ(b.ToIndices(), (std::vector<size_t>{0, 9}));
+}
+
+TEST(Bitset, EmptyBitset) {
+  Bitset b(0);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  b.ForEach([](size_t) { FAIL() << "no bits to visit"; });
+}
+
+TEST(Bitset, AnyNone) {
+  Bitset b(5);
+  EXPECT_FALSE(b.Any());
+  b.Set(4);
+  EXPECT_TRUE(b.Any());
+  EXPECT_FALSE(b.None());
+}
+
+TEST(Bitset, ExactlyWordSized) {
+  Bitset b(64);
+  b.Fill(true);
+  EXPECT_EQ(b.Count(), 64u);
+  b.Clear(63);
+  EXPECT_EQ(b.Count(), 63u);
+}
+
+TEST(Bitset, InPlaceOperators) {
+  Bitset a(8);
+  Bitset b(8);
+  a.Set(0);
+  b.Set(1);
+  a |= b;
+  EXPECT_EQ(a.Count(), 2u);
+  a &= b;
+  EXPECT_EQ(a.Count(), 1u);
+  EXPECT_TRUE(a.Test(1));
+}
+
+}  // namespace
+}  // namespace rudolf

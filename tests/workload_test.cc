@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "rules/evaluator.h"
+#include "workload/generator.h"
+#include "workload/initial_rules.h"
+#include "workload/scenarios.h"
+
+namespace rudolf {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() {
+    Scenario s = TinyScenario();
+    s.options.num_transactions = 4000;
+    ds_ = GenerateDataset(s.options);
+  }
+  Dataset ds_;
+};
+
+TEST_F(WorkloadTest, GeneratesRequestedRowCount) {
+  EXPECT_EQ(ds_.relation->NumRows(), 4000u);
+}
+
+TEST_F(WorkloadTest, FraudFractionApproximatelyRespected) {
+  size_t frauds = ds_.relation->RowsWithTrueLabel(Label::kFraud).size();
+  double fraction = static_cast<double>(frauds) / 4000.0;
+  // Nominal 3%; patterns are not always active so the realized rate is a
+  // bit lower, but must be in the right ballpark.
+  EXPECT_GT(fraction, 0.008);
+  EXPECT_LT(fraction, 0.06);
+}
+
+TEST_F(WorkloadTest, DeterministicForSeed) {
+  Scenario s = TinyScenario();
+  s.options.num_transactions = 4000;
+  Dataset again = GenerateDataset(s.options);
+  ASSERT_EQ(again.relation->NumRows(), ds_.relation->NumRows());
+  for (size_t r = 0; r < 4000; r += 131) {
+    EXPECT_EQ(again.relation->GetRow(r), ds_.relation->GetRow(r));
+    EXPECT_EQ(again.relation->TrueLabel(r), ds_.relation->TrueLabel(r));
+    EXPECT_EQ(again.relation->Score(r), ds_.relation->Score(r));
+  }
+}
+
+TEST_F(WorkloadTest, DifferentSeedsDiffer) {
+  Scenario s = TinyScenario(/*seed=*/999);
+  s.options.num_transactions = 4000;
+  Dataset other = GenerateDataset(s.options);
+  size_t differing = 0;
+  for (size_t r = 0; r < 4000; ++r) {
+    if (other.relation->GetRow(r) != ds_.relation->GetRow(r)) ++differing;
+  }
+  EXPECT_GT(differing, 3000u);
+}
+
+TEST_F(WorkloadTest, EveryFraudMatchesAnActivePattern) {
+  for (size_t r : ds_.relation->RowsWithTrueLabel(Label::kFraud)) {
+    Tuple t = ds_.relation->GetRow(r);
+    double frac = ds_.FracOf(r);
+    bool matched = false;
+    for (const AttackPattern& p : ds_.patterns) {
+      if (p.ActiveAt(frac) && p.Matches(ds_.cc, t)) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "row " << r;
+  }
+}
+
+TEST_F(WorkloadTest, PatternRuleCapturesItsFrauds) {
+  // The ground-truth rule of each pattern captures every fraud generated
+  // from it (sanity of ToRule vs Matches).
+  for (const AttackPattern& p : ds_.patterns) {
+    Rule rule = p.ToRule(ds_.cc);
+    for (size_t r : ds_.relation->RowsWithTrueLabel(Label::kFraud)) {
+      Tuple t = ds_.relation->GetRow(r);
+      if (p.Matches(ds_.cc, t)) {
+        EXPECT_TRUE(rule.MatchesTuple(*ds_.cc.schema, t));
+      }
+    }
+  }
+}
+
+TEST_F(WorkloadTest, ScoresMirroredIntoRiskColumn) {
+  for (size_t r = 0; r < 200; ++r) {
+    EXPECT_EQ(ds_.relation->Score(r),
+              ds_.relation->Get(r, ds_.cc.layout.risk_score));
+    EXPECT_GE(ds_.relation->Score(r), 0);
+    EXPECT_LE(ds_.relation->Score(r), 1000);
+  }
+}
+
+TEST_F(WorkloadTest, ScoresCorrelateWithTruth) {
+  double fraud_sum = 0;
+  double legit_sum = 0;
+  size_t fraud_n = 0;
+  size_t legit_n = 0;
+  for (size_t r = 0; r < ds_.relation->NumRows(); ++r) {
+    if (ds_.relation->TrueLabel(r) == Label::kFraud) {
+      fraud_sum += ds_.relation->Score(r);
+      ++fraud_n;
+    } else {
+      legit_sum += ds_.relation->Score(r);
+      ++legit_n;
+    }
+  }
+  ASSERT_GT(fraud_n, 0u);
+  EXPECT_GT(fraud_sum / fraud_n, legit_sum / legit_n + 100);
+}
+
+TEST_F(WorkloadTest, InitialLabelsAreUnlabeled) {
+  EXPECT_EQ(ds_.relation->CountVisible(Label::kUnlabeled),
+            ds_.relation->NumRows());
+}
+
+TEST_F(WorkloadTest, RevealLabelsCoverageAndNoise) {
+  Rng rng(5);
+  RevealLabels(ds_.relation.get(), 0, 2000, /*coverage=*/0.8,
+               /*mislabel=*/0.0, /*false_fraud=*/0.0, &rng);
+  size_t labeled = 0;
+  size_t wrong = 0;
+  for (size_t r = 0; r < 2000; ++r) {
+    Label v = ds_.relation->VisibleLabel(r);
+    if (v == Label::kUnlabeled) continue;
+    ++labeled;
+    if (v != ds_.relation->TrueLabel(r)) ++wrong;
+  }
+  EXPECT_NEAR(labeled / 2000.0, 0.8, 0.05);
+  EXPECT_EQ(wrong, 0u);
+  // Rows beyond the range stay unlabeled.
+  for (size_t r = 2000; r < 2100; ++r) {
+    EXPECT_EQ(ds_.relation->VisibleLabel(r), Label::kUnlabeled);
+  }
+}
+
+TEST_F(WorkloadTest, RevealLabelsMislabelRates) {
+  Rng rng(5);
+  RevealLabels(ds_.relation.get(), 0, 4000, /*coverage=*/1.0,
+               /*mislabel=*/0.5, /*false_fraud=*/0.02, &rng);
+  size_t fraud_total = 0;
+  size_t fraud_flipped = 0;
+  size_t legit_total = 0;
+  size_t legit_flipped = 0;
+  for (size_t r = 0; r < 4000; ++r) {
+    bool flipped = ds_.relation->VisibleLabel(r) != ds_.relation->TrueLabel(r);
+    if (ds_.relation->TrueLabel(r) == Label::kFraud) {
+      ++fraud_total;
+      fraud_flipped += flipped;
+    } else {
+      ++legit_total;
+      legit_flipped += flipped;
+    }
+  }
+  ASSERT_GT(fraud_total, 20u);
+  EXPECT_NEAR(static_cast<double>(fraud_flipped) / fraud_total, 0.5, 0.15);
+  EXPECT_NEAR(static_cast<double>(legit_flipped) / legit_total, 0.02, 0.01);
+}
+
+TEST_F(WorkloadTest, PatternsDriftAcrossStream) {
+  // At least one pattern active at the start, at least one pattern that
+  // starts strictly later (the drift the refinement chases).
+  bool initially_active = false;
+  bool appears_later = false;
+  for (const AttackPattern& p : ds_.patterns) {
+    if (p.start_frac == 0.0) initially_active = true;
+    if (p.start_frac > 0.0) appears_later = true;
+  }
+  EXPECT_TRUE(initially_active);
+  EXPECT_TRUE(appears_later);
+}
+
+TEST_F(WorkloadTest, InitialRulesDerivedFromInitialPatterns) {
+  RuleSet rules = SynthesizeInitialRules(ds_);
+  EXPECT_GT(rules.size(), 0u);
+  // Each non-obsolete rule is contained in some initially-active pattern's
+  // true rule (staleness only narrows).
+  size_t contained = 0;
+  for (RuleId id : rules.LiveIds()) {
+    for (const AttackPattern& p : ds_.patterns) {
+      if (p.start_frac > 0.0) continue;
+      if (p.ToRule(ds_.cc).ContainsRule(*ds_.cc.schema, rules.Get(id))) {
+        ++contained;
+        break;
+      }
+    }
+  }
+  InitialRuleOptions defaults;
+  EXPECT_EQ(contained + static_cast<size_t>(defaults.obsolete_rules),
+            rules.size());
+}
+
+TEST_F(WorkloadTest, InitialRulesAreStale) {
+  // The stale rules must not capture all the initially-active patterns'
+  // frauds (otherwise there is nothing to refine).
+  RuleSet rules = SynthesizeInitialRules(ds_);
+  RuleEvaluator eval(*ds_.relation);
+  Bitset captured = eval.EvalRuleSet(rules);
+  size_t missed = 0;
+  for (size_t r : ds_.relation->RowsWithTrueLabel(Label::kFraud)) {
+    if (!captured.Test(r)) ++missed;
+  }
+  EXPECT_GT(missed, 0u);
+}
+
+TEST(Scenarios, PresetsHaveExpectedShapes) {
+  EXPECT_EQ(DefaultScenario(5000).options.num_transactions, 5000u);
+  auto sizes = SizeSweepScenarios({100, 200});
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[1].options.num_transactions, 200u);
+  auto frauds = FraudSweepScenarios(1000, {0.005, 0.025});
+  ASSERT_EQ(frauds.size(), 2u);
+  EXPECT_DOUBLE_EQ(frauds[0].options.fraud_fraction, 0.005);
+  EXPECT_EQ(frauds[0].options.num_transactions, 1000u);
+  EXPECT_NE(frauds[0].name, frauds[1].name);
+}
+
+}  // namespace
+}  // namespace rudolf
