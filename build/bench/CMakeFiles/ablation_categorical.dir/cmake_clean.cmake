@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_categorical.dir/ablation_categorical.cc.o"
+  "CMakeFiles/ablation_categorical.dir/ablation_categorical.cc.o.d"
+  "ablation_categorical"
+  "ablation_categorical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_categorical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_drift.dir/ablation_drift.cc.o"
+  "CMakeFiles/ablation_drift.dir/ablation_drift.cc.o.d"
+  "ablation_drift"
+  "ablation_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_topk.dir/ablation_topk.cc.o"
+  "CMakeFiles/ablation_topk.dir/ablation_topk.cc.o.d"
+  "ablation_topk"
+  "ablation_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_cumulative_changes.dir/fig3a_cumulative_changes.cc.o"
+  "CMakeFiles/fig3a_cumulative_changes.dir/fig3a_cumulative_changes.cc.o.d"
+  "fig3a_cumulative_changes"
+  "fig3a_cumulative_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_cumulative_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

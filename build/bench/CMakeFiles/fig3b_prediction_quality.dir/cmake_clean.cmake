@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_prediction_quality.dir/fig3b_prediction_quality.cc.o"
+  "CMakeFiles/fig3b_prediction_quality.dir/fig3b_prediction_quality.cc.o.d"
+  "fig3b_prediction_quality"
+  "fig3b_prediction_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_prediction_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

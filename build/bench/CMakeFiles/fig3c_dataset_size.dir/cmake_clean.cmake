@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_dataset_size.dir/fig3c_dataset_size.cc.o"
+  "CMakeFiles/fig3c_dataset_size.dir/fig3c_dataset_size.cc.o.d"
+  "fig3c_dataset_size"
+  "fig3c_dataset_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_dataset_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

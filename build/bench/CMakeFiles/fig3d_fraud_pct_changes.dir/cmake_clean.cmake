@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3d_fraud_pct_changes.dir/fig3d_fraud_pct_changes.cc.o"
+  "CMakeFiles/fig3d_fraud_pct_changes.dir/fig3d_fraud_pct_changes.cc.o.d"
+  "fig3d_fraud_pct_changes"
+  "fig3d_fraud_pct_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3d_fraud_pct_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

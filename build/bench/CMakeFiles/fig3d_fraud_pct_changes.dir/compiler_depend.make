@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3d_fraud_pct_changes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3d_fraud_pct_changes.
+# This may be replaced when dependencies are built.

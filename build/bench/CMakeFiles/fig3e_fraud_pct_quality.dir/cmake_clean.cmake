@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3e_fraud_pct_quality.dir/fig3e_fraud_pct_quality.cc.o"
+  "CMakeFiles/fig3e_fraud_pct_quality.dir/fig3e_fraud_pct_quality.cc.o.d"
+  "fig3e_fraud_pct_quality"
+  "fig3e_fraud_pct_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3e_fraud_pct_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

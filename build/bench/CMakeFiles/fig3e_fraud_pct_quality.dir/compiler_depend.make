@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3e_fraud_pct_quality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3e_fraud_pct_quality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3f_expert_time.dir/fig3f_expert_time.cc.o"
+  "CMakeFiles/fig3f_expert_time.dir/fig3f_expert_time.cc.o.d"
+  "fig3f_expert_time"
+  "fig3f_expert_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3f_expert_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/institute_fleet.dir/institute_fleet.cc.o"
+  "CMakeFiles/institute_fleet.dir/institute_fleet.cc.o.d"
+  "institute_fleet"
+  "institute_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/institute_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modification_breakdown.dir/modification_breakdown.cc.o"
+  "CMakeFiles/modification_breakdown.dir/modification_breakdown.cc.o.d"
+  "modification_breakdown"
+  "modification_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modification_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

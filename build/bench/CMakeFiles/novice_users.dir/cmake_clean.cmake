@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/novice_users.dir/novice_users.cc.o"
+  "CMakeFiles/novice_users.dir/novice_users.cc.o.d"
+  "novice_users"
+  "novice_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/novice_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proposal_latency.dir/proposal_latency.cc.o"
+  "CMakeFiles/proposal_latency.dir/proposal_latency.cc.o.d"
+  "proposal_latency"
+  "proposal_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proposal_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

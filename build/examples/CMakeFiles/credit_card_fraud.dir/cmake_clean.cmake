@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credit_card_fraud.dir/credit_card_fraud.cpp.o"
+  "CMakeFiles/credit_card_fraud.dir/credit_card_fraud.cpp.o.d"
+  "credit_card_fraud"
+  "credit_card_fraud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credit_card_fraud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rudolf_cli.dir/rudolf_cli.cpp.o"
+  "CMakeFiles/rudolf_cli.dir/rudolf_cli.cpp.o.d"
+  "rudolf_cli"
+  "rudolf_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rudolf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baselines.cc" "src/CMakeFiles/rudolf.dir/baselines/baselines.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/baselines/baselines.cc.o.d"
+  "/root/repo/src/cluster/distance.cc" "src/CMakeFiles/rudolf.dir/cluster/distance.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/cluster/distance.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/rudolf.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/cluster/leader.cc" "src/CMakeFiles/rudolf.dir/cluster/leader.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/cluster/leader.cc.o.d"
+  "/root/repo/src/cluster/representative.cc" "src/CMakeFiles/rudolf.dir/cluster/representative.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/cluster/representative.cc.o.d"
+  "/root/repo/src/cluster/strategy.cc" "src/CMakeFiles/rudolf.dir/cluster/strategy.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/cluster/strategy.cc.o.d"
+  "/root/repo/src/cluster/streaming_kmeans.cc" "src/CMakeFiles/rudolf.dir/cluster/streaming_kmeans.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/cluster/streaming_kmeans.cc.o.d"
+  "/root/repo/src/core/capture_tracker.cc" "src/CMakeFiles/rudolf.dir/core/capture_tracker.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/core/capture_tracker.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/rudolf.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/drift.cc" "src/CMakeFiles/rudolf.dir/core/drift.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/core/drift.cc.o.d"
+  "/root/repo/src/core/feedback.cc" "src/CMakeFiles/rudolf.dir/core/feedback.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/core/feedback.cc.o.d"
+  "/root/repo/src/core/generalize.cc" "src/CMakeFiles/rudolf.dir/core/generalize.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/core/generalize.cc.o.d"
+  "/root/repo/src/core/proposal.cc" "src/CMakeFiles/rudolf.dir/core/proposal.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/core/proposal.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/CMakeFiles/rudolf.dir/core/session.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/core/session.cc.o.d"
+  "/root/repo/src/core/specialize.cc" "src/CMakeFiles/rudolf.dir/core/specialize.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/core/specialize.cc.o.d"
+  "/root/repo/src/exact/hitting_set.cc" "src/CMakeFiles/rudolf.dir/exact/hitting_set.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/exact/hitting_set.cc.o.d"
+  "/root/repo/src/exact/set_cover.cc" "src/CMakeFiles/rudolf.dir/exact/set_cover.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/exact/set_cover.cc.o.d"
+  "/root/repo/src/experiments/runner.cc" "src/CMakeFiles/rudolf.dir/experiments/runner.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/experiments/runner.cc.o.d"
+  "/root/repo/src/expert/expert.cc" "src/CMakeFiles/rudolf.dir/expert/expert.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/expert/expert.cc.o.d"
+  "/root/repo/src/expert/manual_expert.cc" "src/CMakeFiles/rudolf.dir/expert/manual_expert.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/expert/manual_expert.cc.o.d"
+  "/root/repo/src/expert/oracle_expert.cc" "src/CMakeFiles/rudolf.dir/expert/oracle_expert.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/expert/oracle_expert.cc.o.d"
+  "/root/repo/src/expert/scripted_expert.cc" "src/CMakeFiles/rudolf.dir/expert/scripted_expert.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/expert/scripted_expert.cc.o.d"
+  "/root/repo/src/expert/time_model.cc" "src/CMakeFiles/rudolf.dir/expert/time_model.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/expert/time_model.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/CMakeFiles/rudolf.dir/io/csv.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/io/csv.cc.o.d"
+  "/root/repo/src/io/dataset_io.cc" "src/CMakeFiles/rudolf.dir/io/dataset_io.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/io/dataset_io.cc.o.d"
+  "/root/repo/src/io/rules_io.cc" "src/CMakeFiles/rudolf.dir/io/rules_io.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/io/rules_io.cc.o.d"
+  "/root/repo/src/metrics/quality.cc" "src/CMakeFiles/rudolf.dir/metrics/quality.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/metrics/quality.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/CMakeFiles/rudolf.dir/metrics/report.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/metrics/report.cc.o.d"
+  "/root/repo/src/ml/features.cc" "src/CMakeFiles/rudolf.dir/ml/features.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/ml/features.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/CMakeFiles/rudolf.dir/ml/naive_bayes.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/ml/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/threshold.cc" "src/CMakeFiles/rudolf.dir/ml/threshold.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/ml/threshold.cc.o.d"
+  "/root/repo/src/ontology/builders.cc" "src/CMakeFiles/rudolf.dir/ontology/builders.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/ontology/builders.cc.o.d"
+  "/root/repo/src/ontology/ontology.cc" "src/CMakeFiles/rudolf.dir/ontology/ontology.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/ontology/ontology.cc.o.d"
+  "/root/repo/src/ontology/serialization.cc" "src/CMakeFiles/rudolf.dir/ontology/serialization.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/ontology/serialization.cc.o.d"
+  "/root/repo/src/relation/builder.cc" "src/CMakeFiles/rudolf.dir/relation/builder.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/relation/builder.cc.o.d"
+  "/root/repo/src/relation/relation.cc" "src/CMakeFiles/rudolf.dir/relation/relation.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/relation/relation.cc.o.d"
+  "/root/repo/src/relation/schema.cc" "src/CMakeFiles/rudolf.dir/relation/schema.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/relation/schema.cc.o.d"
+  "/root/repo/src/relation/value.cc" "src/CMakeFiles/rudolf.dir/relation/value.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/relation/value.cc.o.d"
+  "/root/repo/src/rules/condition.cc" "src/CMakeFiles/rudolf.dir/rules/condition.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/rules/condition.cc.o.d"
+  "/root/repo/src/rules/edit.cc" "src/CMakeFiles/rudolf.dir/rules/edit.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/rules/edit.cc.o.d"
+  "/root/repo/src/rules/evaluator.cc" "src/CMakeFiles/rudolf.dir/rules/evaluator.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/rules/evaluator.cc.o.d"
+  "/root/repo/src/rules/parser.cc" "src/CMakeFiles/rudolf.dir/rules/parser.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/rules/parser.cc.o.d"
+  "/root/repo/src/rules/rule.cc" "src/CMakeFiles/rudolf.dir/rules/rule.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/rules/rule.cc.o.d"
+  "/root/repo/src/rules/rule_set.cc" "src/CMakeFiles/rudolf.dir/rules/rule_set.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/rules/rule_set.cc.o.d"
+  "/root/repo/src/rules/simplify.cc" "src/CMakeFiles/rudolf.dir/rules/simplify.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/rules/simplify.cc.o.d"
+  "/root/repo/src/util/bitset.cc" "src/CMakeFiles/rudolf.dir/util/bitset.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/util/bitset.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/rudolf.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/rudolf.dir/util/random.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/rudolf.dir/util/status.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/rudolf.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/util/string_util.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/rudolf.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/initial_rules.cc" "src/CMakeFiles/rudolf.dir/workload/initial_rules.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/workload/initial_rules.cc.o.d"
+  "/root/repo/src/workload/intrusion.cc" "src/CMakeFiles/rudolf.dir/workload/intrusion.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/workload/intrusion.cc.o.d"
+  "/root/repo/src/workload/paper_example.cc" "src/CMakeFiles/rudolf.dir/workload/paper_example.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/workload/paper_example.cc.o.d"
+  "/root/repo/src/workload/pattern.cc" "src/CMakeFiles/rudolf.dir/workload/pattern.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/workload/pattern.cc.o.d"
+  "/root/repo/src/workload/scenarios.cc" "src/CMakeFiles/rudolf.dir/workload/scenarios.cc.o" "gcc" "src/CMakeFiles/rudolf.dir/workload/scenarios.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_tracker_test.dir/capture_tracker_test.cc.o"
+  "CMakeFiles/capture_tracker_test.dir/capture_tracker_test.cc.o.d"
+  "capture_tracker_test"
+  "capture_tracker_test.pdb"
+  "capture_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

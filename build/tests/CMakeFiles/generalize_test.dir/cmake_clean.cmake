@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generalize_test.dir/generalize_test.cc.o"
+  "CMakeFiles/generalize_test.dir/generalize_test.cc.o.d"
+  "generalize_test"
+  "generalize_test.pdb"
+  "generalize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intrusion_test.dir/intrusion_test.cc.o"
+  "CMakeFiles/intrusion_test.dir/intrusion_test.cc.o.d"
+  "intrusion_test"
+  "intrusion_test.pdb"
+  "intrusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intrusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_repair_test.dir/oracle_repair_test.cc.o"
+  "CMakeFiles/oracle_repair_test.dir/oracle_repair_test.cc.o.d"
+  "oracle_repair_test"
+  "oracle_repair_test.pdb"
+  "oracle_repair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_repair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

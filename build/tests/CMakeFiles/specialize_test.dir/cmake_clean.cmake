@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specialize_test.dir/specialize_test.cc.o"
+  "CMakeFiles/specialize_test.dir/specialize_test.cc.o.d"
+  "specialize_test"
+  "specialize_test.pdb"
+  "specialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
