@@ -1,9 +1,30 @@
 #include "cluster/kmeans.h"
 
+#include <atomic>
 #include <cassert>
 #include <limits>
 
 namespace rudolf {
+
+namespace {
+
+// Points per parallel chunk in the assignment/seeding loops; each distance
+// is already many instructions, so chunks stay small.
+constexpr size_t kPointGrain = 64;
+
+// Runs body(lo, hi) over [0, n), on the pool when one is given. Every
+// parallel site in this file writes state indexed by its own range only, so
+// the pool changes nothing but wall-clock.
+void ForRange(ThreadPool* pool, size_t n, size_t grain,
+              const std::function<void(size_t, size_t)>& body) {
+  if (pool != nullptr && !pool->OnWorkerThread()) {
+    pool->ParallelFor(0, n, grain, body);
+  } else {
+    body(0, n);
+  }
+}
+
+}  // namespace
 
 std::vector<std::vector<size_t>> KMedoidsCluster(const Relation& relation,
                                                  const std::vector<size_t>& rows,
@@ -13,10 +34,12 @@ std::vector<std::vector<size_t>> KMedoidsCluster(const Relation& relation,
   if (n == 0) return {};
   size_t k = std::min(options.k, n);
   if (k == 0) k = 1;
+  ThreadPool* pool = options.pool;
 
-  std::vector<Tuple> tuples;
-  tuples.reserve(n);
-  for (size_t r : rows) tuples.push_back(relation.GetRow(r));
+  std::vector<Tuple> tuples(n);
+  ForRange(pool, n, kPointGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) tuples[i] = relation.GetRow(rows[i]);
+  });
 
   Rng rng(options.seed);
 
@@ -27,10 +50,12 @@ std::vector<std::vector<size_t>> KMedoidsCluster(const Relation& relation,
   while (medoids.size() < k) {
     size_t last = medoids.back();
     std::vector<double> weights(n);
-    for (size_t i = 0; i < n; ++i) {
-      min_dist[i] = std::min(min_dist[i], metric(tuples[i], tuples[last]));
-      weights[i] = min_dist[i] * min_dist[i];
-    }
+    ForRange(pool, n, kPointGrain, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        min_dist[i] = std::min(min_dist[i], metric(tuples[i], tuples[last]));
+        weights[i] = min_dist[i] * min_dist[i];
+      }
+    });
     size_t next = rng.WeightedIndex(weights);
     // All remaining points may coincide with existing medoids; stop early.
     if (min_dist[next] == 0.0) break;
@@ -41,43 +66,48 @@ std::vector<std::vector<size_t>> KMedoidsCluster(const Relation& relation,
   // --- Lloyd-style iterations with medoid updates.
   std::vector<size_t> assign(n, 0);
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    bool changed = false;
-    // Assignment step.
-    for (size_t i = 0; i < n; ++i) {
-      size_t best = 0;
-      double best_d = std::numeric_limits<double>::infinity();
-      for (size_t c = 0; c < k; ++c) {
-        double d = metric(tuples[i], tuples[medoids[c]]);
-        if (d < best_d) {
-          best_d = d;
-          best = c;
+    // Assignment step: nearest medoid per point, independent across points.
+    std::atomic<bool> changed{false};
+    ForRange(pool, n, kPointGrain, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        size_t best = 0;
+        double best_d = std::numeric_limits<double>::infinity();
+        for (size_t c = 0; c < k; ++c) {
+          double d = metric(tuples[i], tuples[medoids[c]]);
+          if (d < best_d) {
+            best_d = d;
+            best = c;
+          }
+        }
+        if (assign[i] != best) {
+          assign[i] = best;
+          changed.store(true, std::memory_order_relaxed);
         }
       }
-      if (assign[i] != best) {
-        assign[i] = best;
-        changed = true;
-      }
-    }
-    if (!changed && iter > 0) break;
+    });
+    if (!changed.load(std::memory_order_relaxed) && iter > 0) break;
     // Medoid update: the member minimizing the within-cluster distance sum.
-    for (size_t c = 0; c < k; ++c) {
-      std::vector<size_t> members;
-      for (size_t i = 0; i < n; ++i) {
-        if (assign[i] == c) members.push_back(i);
-      }
-      if (members.empty()) continue;
-      size_t best_m = members[0];
-      double best_sum = std::numeric_limits<double>::infinity();
-      for (size_t m : members) {
-        double sum = 0;
-        for (size_t o : members) sum += metric(tuples[m], tuples[o]);
-        if (sum < best_sum) {
-          best_sum = sum;
-          best_m = m;
+    // Independent across clusters; each writes only medoids[c].
+    ForRange(pool, k, 1, [&](size_t c_lo, size_t c_hi) {
+      for (size_t c = c_lo; c < c_hi; ++c) {
+        std::vector<size_t> members;
+        for (size_t i = 0; i < n; ++i) {
+          if (assign[i] == c) members.push_back(i);
         }
+        if (members.empty()) continue;
+        size_t best_m = members[0];
+        double best_sum = std::numeric_limits<double>::infinity();
+        for (size_t m : members) {
+          double sum = 0;
+          for (size_t o : members) sum += metric(tuples[m], tuples[o]);
+          if (sum < best_sum) {
+            best_sum = sum;
+            best_m = m;
+          }
+        }
+        medoids[c] = best_m;
       }
-      medoids[c] = best_m;
-    }
+    });
   }
 
   std::vector<std::vector<size_t>> clusters(k);

@@ -1,26 +1,87 @@
 #include "cluster/leader.h"
 
+#include <limits>
+
 namespace rudolf {
+
+namespace {
+
+constexpr size_t kNoMatch = std::numeric_limits<size_t>::max();
+
+// Batch size of the parallel phase. Large enough to amortize a fork-join
+// episode, small enough that few leaders are founded mid-batch (every
+// mid-batch founding costs a serial distance check per later batch row).
+constexpr size_t kBatchRows = 512;
+
+// Below this many rows the batching bookkeeping costs more than it saves.
+constexpr size_t kMinParallelRows = 2 * kBatchRows;
+
+}  // namespace
 
 std::vector<std::vector<size_t>> LeaderCluster(const Relation& relation,
                                                const std::vector<size_t>& rows,
                                                const TupleDistance& metric,
-                                               double threshold) {
+                                               double threshold,
+                                               ThreadPool* pool) {
   std::vector<std::vector<size_t>> clusters;
   std::vector<Tuple> leaders;
-  for (size_t row : rows) {
-    Tuple t = relation.GetRow(row);
-    bool placed = false;
-    for (size_t c = 0; c < clusters.size(); ++c) {
-      if (metric(leaders[c], t) <= threshold) {
-        clusters[c].push_back(row);
-        placed = true;
-        break;
+
+  if (pool == nullptr || pool->OnWorkerThread() ||
+      rows.size() < kMinParallelRows) {
+    for (size_t row : rows) {
+      Tuple t = relation.GetRow(row);
+      bool placed = false;
+      for (size_t c = 0; c < clusters.size(); ++c) {
+        if (metric(leaders[c], t) <= threshold) {
+          clusters[c].push_back(row);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        clusters.push_back({row});
+        leaders.push_back(std::move(t));
       }
     }
-    if (!placed) {
-      clusters.push_back({row});
-      leaders.push_back(std::move(t));
+    return clusters;
+  }
+
+  for (size_t batch_lo = 0; batch_lo < rows.size(); batch_lo += kBatchRows) {
+    const size_t batch_hi = std::min(rows.size(), batch_lo + kBatchRows);
+    const size_t batch = batch_hi - batch_lo;
+    const size_t snapshot = leaders.size();
+    std::vector<Tuple> tuples(batch);
+    std::vector<size_t> match(batch, kNoMatch);
+    pool->ParallelFor(0, batch, 16, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        tuples[i] = relation.GetRow(rows[batch_lo + i]);
+        for (size_t c = 0; c < snapshot; ++c) {
+          if (metric(leaders[c], tuples[i]) <= threshold) {
+            match[i] = c;
+            break;
+          }
+        }
+      }
+    });
+    // Serial commit in scan order. A precomputed match is the smallest
+    // matching cluster index overall (leaders founded below only come
+    // later); an unmatched row must still try the batch's new leaders.
+    for (size_t i = 0; i < batch; ++i) {
+      size_t c = match[i];
+      if (c == kNoMatch) {
+        for (size_t nc = snapshot; nc < leaders.size(); ++nc) {
+          if (metric(leaders[nc], tuples[i]) <= threshold) {
+            c = nc;
+            break;
+          }
+        }
+      }
+      if (c == kNoMatch) {
+        clusters.push_back({rows[batch_lo + i]});
+        leaders.push_back(std::move(tuples[i]));
+      } else {
+        clusters[c].push_back(rows[batch_lo + i]);
+      }
     }
   }
   return clusters;

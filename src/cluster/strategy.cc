@@ -24,13 +24,26 @@ std::vector<std::vector<size_t>> ClusterRows(const Relation& relation,
   if (rows.empty()) return {};
   TupleDistance metric(relation.shared_schema(),
                        ScaledDistanceOptions(relation, rows));
+  int threads = ResolveNumThreads(options.num_threads);
+  ThreadPool* pool = threads > 1 ? ThreadPool::Shared(threads) : nullptr;
+  if (pool != nullptr) {
+    // The metric queries ontologies whose ancestor/leaf-set caches build
+    // lazily; warm them before distances are taken from worker threads.
+    const Schema& schema = relation.schema();
+    for (size_t i = 0; i < schema.arity(); ++i) {
+      const AttributeDef& def = schema.attribute(i);
+      if (def.kind == AttrKind::kCategorical) def.ontology->WarmCaches();
+    }
+  }
   switch (options.strategy) {
     case ClusteringStrategy::kLeader:
-      return LeaderCluster(relation, rows, metric, options.leader_threshold);
+      return LeaderCluster(relation, rows, metric, options.leader_threshold,
+                           pool);
     case ClusteringStrategy::kKMedoids: {
       KMedoidsOptions ko;
       ko.k = options.k;
       ko.seed = options.seed;
+      ko.pool = pool;
       return KMedoidsCluster(relation, rows, metric, ko);
     }
     case ClusteringStrategy::kStreamingKMeans: {

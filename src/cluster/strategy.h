@@ -30,6 +30,11 @@ struct ClusteringOptions {
   /// KMedoids / streaming: target number of clusters.
   size_t k = 8;
   uint64_t seed = 42;
+  /// Worker threads for the point-parallel steps (leader batch matching,
+  /// k-medoids seeding/assignment/updates). Same semantics as
+  /// EvalOptions::num_threads: <= 1 serial, 0 = hardware, RUDOLF_THREADS
+  /// overrides. The clustering produced is identical at any thread count.
+  int num_threads = 1;
 };
 
 /// Clusters `rows` under the scaled mixed metric per the chosen strategy.

@@ -5,15 +5,18 @@
 namespace rudolf {
 
 CaptureTracker::CaptureTracker(const Relation& relation, const RuleSet& rules,
-                               size_t prefix_rows)
+                               size_t prefix_rows, EvalOptions eval)
     : relation_(relation),
       prefix_(std::min(prefix_rows, relation.NumRows())),
-      evaluator_(relation, prefix_) {
+      evaluator_(relation, prefix_, eval) {
   cover_count_.assign(prefix_, 0);
-  for (RuleId id : rules.LiveIds()) {
-    Bitset capture = evaluator_.EvalRule(rules.Get(id));
-    capture.ForEach([this](size_t row) { ++cover_count_[row]; });
-    captures_.emplace(id, std::move(capture));
+  std::vector<RuleId> ids = rules.LiveIds();
+  // Bitmap evaluation fans out across rules; the cover-count accumulation
+  // stays serial (it is a cheap pass and rules would contend on the array).
+  std::vector<Bitset> bitmaps = evaluator_.EvalRules(rules, ids);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    bitmaps[i].ForEach([this](size_t row) { ++cover_count_[row]; });
+    captures_.emplace(ids[i], std::move(bitmaps[i]));
   }
 }
 

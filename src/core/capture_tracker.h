@@ -24,9 +24,11 @@ namespace rudolf {
 class CaptureTracker {
  public:
   /// Builds bitmaps for every live rule of `rules` over the first
-  /// `prefix_rows` rows of `relation` (SIZE_MAX = all rows).
+  /// `prefix_rows` rows of `relation` (SIZE_MAX = all rows). The initial
+  /// bitmap build parallelizes across rules when `eval.num_threads > 1`.
   CaptureTracker(const Relation& relation, const RuleSet& rules,
-                 size_t prefix_rows = static_cast<size_t>(-1));
+                 size_t prefix_rows = static_cast<size_t>(-1),
+                 EvalOptions eval = {});
 
   size_t prefix_rows() const { return prefix_; }
   const RuleEvaluator& evaluator() const { return evaluator_; }

@@ -11,7 +11,11 @@ namespace rudolf {
 
 GeneralizationEngine::GeneralizationEngine(const Relation& relation,
                                            GeneralizeOptions options)
-    : relation_(relation), options_(std::move(options)) {}
+    : relation_(relation), options_(std::move(options)) {
+  if (options_.clustering.num_threads <= 1) {
+    options_.clustering.num_threads = options_.eval.num_threads;
+  }
+}
 
 Rule GeneralizationEngine::BuildRepresentative(
     const std::vector<size_t>& cluster_rows) const {

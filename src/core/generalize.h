@@ -23,6 +23,10 @@ namespace rudolf {
 
 /// Configuration of the generalization pass.
 struct GeneralizeOptions {
+  /// Evaluation/clustering parallelism for this engine. A `clustering`
+  /// field left at its default (serial) inherits this value, so setting
+  /// `eval.num_threads` alone parallelizes the whole pass.
+  EvalOptions eval;
   ClusteringOptions clustering;
   /// Number of candidate rules ranked per representative (the paper's
   /// top-k).

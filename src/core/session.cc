@@ -31,6 +31,18 @@ void Accumulate(SpecializeStats* into, const SpecializeStats& from) {
   into->expert_seconds += from.expert_seconds;
 }
 
+// Engines whose EvalOptions are still the serial default inherit the
+// session-level parallelism.
+SessionOptions InheritEval(SessionOptions options) {
+  if (options.generalize.eval.num_threads <= 1) {
+    options.generalize.eval = options.eval;
+  }
+  if (options.specialize.eval.num_threads <= 1) {
+    options.specialize.eval = options.eval;
+  }
+  return options;
+}
+
 }  // namespace
 
 RefinementSession::RefinementSession(const Relation& relation,
@@ -41,9 +53,9 @@ RefinementSession::RefinementSession(const Relation& relation, size_t prefix_row
                                      SessionOptions options)
     : relation_(relation),
       default_prefix_(std::min(prefix_rows, relation.NumRows())),
-      options_(options),
-      generalizer_(relation, options.generalize),
-      specializer_(relation, options.specialize) {}
+      options_(InheritEval(std::move(options))),
+      generalizer_(relation, options_.generalize),
+      specializer_(relation, options_.specialize) {}
 
 SessionStats RefinementSession::Refine(RuleSet* rules, Expert* expert,
                                        EditLog* log) {
@@ -57,7 +69,7 @@ SessionStats RefinementSession::Refine(size_t prefix_rows, RuleSet* rules,
   size_t edits_before = log->size();
 
   for (int round = 0; round < options_.max_rounds; ++round) {
-    CaptureTracker tracker(relation_, *rules, prefix);
+    CaptureTracker tracker(relation_, *rules, prefix, options_.eval);
     size_t edits_at_round_start = log->size();
 
     GeneralizeStats g = generalizer_.Run(rules, &tracker, expert, log);
@@ -69,7 +81,7 @@ SessionStats RefinementSession::Refine(size_t prefix_rows, RuleSet* rules,
     if (log->size() == edits_at_round_start) break;  // fixpoint
   }
   if (options_.retire_obsolete) {
-    CaptureTracker tracker(relation_, *rules, prefix);
+    CaptureTracker tracker(relation_, *rules, prefix, options_.eval);
     RetireStats retired = RetireObsoleteRules(relation_, rules, &tracker, expert,
                                               log, options_.drift);
     // Folded into the generalize bucket; stats.expert_seconds sums both

@@ -16,6 +16,12 @@ namespace rudolf {
 
 /// Configuration of a refinement session.
 struct SessionOptions {
+  /// Evaluation parallelism for the session: used for every
+  /// round's CaptureTracker build and inherited by `generalize` / `specialize`
+  /// engines whose own EvalOptions are left at the serial default. The
+  /// refinement outcome is identical at every thread count (see DESIGN.md
+  /// "Parallel evaluation pipeline").
+  EvalOptions eval;
   GeneralizeOptions generalize;
   SpecializeOptions specialize;
   /// Maximum generalize+specialize rounds per session (the paper reports

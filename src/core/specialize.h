@@ -24,6 +24,10 @@ namespace rudolf {
 
 /// Configuration of the specialization pass.
 struct SpecializeOptions {
+  /// Evaluation parallelism for split scoring (the engine evaluates
+  /// candidate replacement rules through the session tracker's evaluator,
+  /// so this matters when the engine is driven with a standalone tracker).
+  EvalOptions eval;
   CostModel cost_model;
   /// When false, categorical attributes are never split (RUDOLF -s).
   bool refine_categorical = true;

@@ -120,6 +120,15 @@ class Ontology {
   /// `exclude` covers all of `within`'s leaves.
   std::vector<ConceptId> GreedyLeafCover(ConceptId within, ConceptId exclude) const;
 
+  /// Forces the lazily built ancestor/leaf-set caches to exist. The caches
+  /// make every query above const-but-mutating on first use; call this once
+  /// (serially) before issuing queries from multiple threads — after it, the
+  /// query methods only read the caches until the next AddConcept.
+  void WarmCaches() const {
+    EnsureAncestors();
+    EnsureLeafSets();
+  }
+
  private:
   // BFS over parent edges shared by UpwardDistance and NearestContainer:
   // returns {distance, chosen container}.

@@ -5,8 +5,23 @@
 
 namespace rudolf {
 
-RuleEvaluator::RuleEvaluator(const Relation& relation, size_t prefix_rows)
-    : relation_(relation), num_rows_(std::min(prefix_rows, relation.NumRows())) {}
+namespace {
+
+// Row-block grain of the parallel columnar scan. A multiple of 64, so block
+// boundaries are Bitset-word-aligned and blocks never share an output word.
+constexpr size_t kRowBlockGrain = size_t{1} << 14;
+
+// Below this prefix size the fork-join overhead beats the scan itself.
+constexpr size_t kMinParallelRows = size_t{1} << 15;
+
+}  // namespace
+
+RuleEvaluator::RuleEvaluator(const Relation& relation, size_t prefix_rows,
+                             EvalOptions options)
+    : relation_(relation),
+      num_rows_(std::min(prefix_rows, relation.NumRows())),
+      num_threads_(ResolveNumThreads(options.num_threads)),
+      pool_(num_threads_ > 1 ? ThreadPool::Shared(num_threads_) : nullptr) {}
 
 const std::vector<uint8_t>& RuleEvaluator::ConceptMask(const Ontology* ontology,
                                                        ConceptId concept_id) const {
@@ -23,24 +38,35 @@ const std::vector<uint8_t>& RuleEvaluator::ConceptMask(const Ontology* ontology,
   return mask_cache_.back().second;
 }
 
-Bitset RuleEvaluator::EvalRule(const Rule& rule) const {
-  assert(rule.arity() == relation_.schema().arity());
+void RuleEvaluator::EnsureMasks(const Rule& rule) const {
   const Schema& schema = relation_.schema();
-  // Most rules are selective conjunctions: evaluate the first non-trivial
-  // condition over the full column, then filter the (usually short)
-  // surviving row list through the remaining conditions instead of paying a
-  // full column pass per condition.
+  for (size_t i = 0; i < rule.arity(); ++i) {
+    const Condition& cond = rule.condition(i);
+    if (cond.IsTrivial(schema.attribute(i))) continue;
+    if (cond.kind() != AttrKind::kCategorical) continue;
+    const Ontology* ontology = schema.attribute(i).ontology.get();
+    ontology->WarmCaches();
+    ConceptMask(ontology, cond.concept_id());
+  }
+}
+
+std::vector<size_t> RuleEvaluator::NonTrivialConditions(const Rule& rule) const {
+  const Schema& schema = relation_.schema();
   std::vector<size_t> conditions;
   for (size_t i = 0; i < rule.arity(); ++i) {
     if (!rule.condition(i).IsTrivial(schema.attribute(i))) conditions.push_back(i);
   }
-  Bitset out(num_rows_);
-  if (conditions.empty()) {
-    out.Fill(true);
-    return out;
-  }
+  return conditions;
+}
 
-  // First condition: dense scan.
+void RuleEvaluator::EvalRuleBlock(const Rule& rule,
+                                  const std::vector<size_t>& conditions,
+                                  size_t lo, size_t hi, Bitset* out) const {
+  const Schema& schema = relation_.schema();
+  // Most rules are selective conjunctions: evaluate the first non-trivial
+  // condition over the block's column slice, then filter the (usually
+  // short) surviving row list through the remaining conditions instead of
+  // paying a full column pass per condition.
   std::vector<size_t> survivors;
   {
     size_t attr = conditions[0];
@@ -49,12 +75,12 @@ Bitset RuleEvaluator::EvalRule(const Rule& rule) const {
     if (cond.kind() == AttrKind::kCategorical) {
       const std::vector<uint8_t>& mask =
           ConceptMask(schema.attribute(attr).ontology.get(), cond.concept_id());
-      for (size_t r = 0; r < num_rows_; ++r) {
+      for (size_t r = lo; r < hi; ++r) {
         if (mask[static_cast<size_t>(col[r])]) survivors.push_back(r);
       }
     } else {
       const Interval iv = cond.interval();
-      for (size_t r = 0; r < num_rows_; ++r) {
+      for (size_t r = lo; r < hi; ++r) {
         if (iv.lo <= col[r] && col[r] <= iv.hi) survivors.push_back(r);
       }
     }
@@ -79,14 +105,59 @@ Bitset RuleEvaluator::EvalRule(const Rule& rule) const {
     }
     survivors.resize(kept);
   }
-  for (size_t r : survivors) out.Set(r);
+  for (size_t r : survivors) out->Set(r);
+}
+
+Bitset RuleEvaluator::EvalRule(const Rule& rule) const {
+  assert(rule.arity() == relation_.schema().arity());
+  std::vector<size_t> conditions = NonTrivialConditions(rule);
+  Bitset out(num_rows_);
+  if (conditions.empty()) {
+    out.Fill(true);
+    return out;
+  }
+  if (pool_ != nullptr && num_rows_ >= kMinParallelRows &&
+      !pool_->OnWorkerThread()) {
+    EnsureMasks(rule);
+    pool_->ParallelFor(0, num_rows_, kRowBlockGrain,
+                       [&](size_t lo, size_t hi) {
+                         EvalRuleBlock(rule, conditions, lo, hi, &out);
+                       });
+  } else {
+    EvalRuleBlock(rule, conditions, 0, num_rows_, &out);
+  }
   return out;
 }
 
+std::vector<Bitset> RuleEvaluator::EvalRules(const RuleSet& rules,
+                                             const std::vector<RuleId>& ids) const {
+  std::vector<Bitset> bitmaps(ids.size());
+  if (pool_ != nullptr && ids.size() > 1 && !pool_->OnWorkerThread()) {
+    // Serially warm the mask cache so the workers' EvalRule calls (which
+    // fall back to the serial scan inside the pool) only read it.
+    for (RuleId id : ids) EnsureMasks(rules.Get(id));
+    pool_->ParallelFor(0, ids.size(), 1, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) bitmaps[i] = EvalRule(rules.Get(ids[i]));
+    });
+  } else {
+    for (size_t i = 0; i < ids.size(); ++i) bitmaps[i] = EvalRule(rules.Get(ids[i]));
+  }
+  return bitmaps;
+}
+
 Bitset RuleEvaluator::EvalRuleSet(const RuleSet& rules) const {
+  std::vector<RuleId> ids = rules.LiveIds();
   Bitset out(num_rows_);
-  for (RuleId id : rules.LiveIds()) {
-    out |= EvalRule(rules.Get(id));
+  if (pool_ != nullptr && ids.size() > 1 && !pool_->OnWorkerThread()) {
+    std::vector<Bitset> bitmaps = EvalRules(rules, ids);
+    // Parallel union over word-aligned row ranges: every worker ORs all
+    // bitmaps into its own disjoint slice of `out`. Bitwise OR commutes, so
+    // the result is independent of the partition.
+    pool_->ParallelFor(0, num_rows_, kRowBlockGrain, [&](size_t lo, size_t hi) {
+      for (const Bitset& b : bitmaps) out.OrRange(b, lo, hi);
+    });
+  } else {
+    for (RuleId id : ids) out |= EvalRule(rules.Get(id));
   }
   return out;
 }

@@ -1,6 +1,11 @@
 // Columnar evaluation of rules over the transaction relation. Produces
 // capture bitmaps (one bit per row) and label-partitioned counts — the raw
 // material of the benefit term α·ΔF + β·ΔL + γ·ΔR.
+//
+// Evaluation optionally runs on a ThreadPool (see EvalOptions): rule sets
+// parallelize across rules, single rules across word-aligned row blocks of
+// the columnar scan. Both decompositions produce bit-identical bitmaps to
+// the serial path — see DESIGN.md "Parallel evaluation pipeline".
 
 #ifndef RUDOLF_RULES_EVALUATOR_H_
 #define RUDOLF_RULES_EVALUATOR_H_
@@ -11,8 +16,19 @@
 #include "relation/relation.h"
 #include "rules/rule_set.h"
 #include "util/bitset.h"
+#include "util/thread_pool.h"
 
 namespace rudolf {
+
+/// Parallelism knobs for rule evaluation, threaded through
+/// GeneralizeOptions / SpecializeOptions / SessionOptions.
+struct EvalOptions {
+  /// 1 (default): the serial code path, no pool involved. 0: all hardware
+  /// threads. n > 1: a shared pool of n threads. Whatever is configured,
+  /// the `RUDOLF_THREADS` environment variable overrides it (see
+  /// ResolveNumThreads).
+  int num_threads = 1;
+};
 
 /// Number of captured rows per label class.
 struct LabelCounts {
@@ -36,16 +52,28 @@ class RuleEvaluator {
   /// rows at construction time). The relation must outlive the evaluator;
   /// rows appended later are outside the prefix and are ignored.
   explicit RuleEvaluator(const Relation& relation,
-                         size_t prefix_rows = static_cast<size_t>(-1));
+                         size_t prefix_rows = static_cast<size_t>(-1),
+                         EvalOptions options = {});
 
   const Relation& relation() const { return relation_; }
   size_t num_rows() const { return num_rows_; }
 
-  /// Rows captured by a single rule.
+  /// Resolved thread count (1 = serial).
+  int num_threads() const { return num_threads_; }
+
+  /// Rows captured by a single rule. Parallel across row blocks for large
+  /// prefixes when the evaluator was built with num_threads > 1.
   Bitset EvalRule(const Rule& rule) const;
 
-  /// Rows captured by the union of all live rules.
+  /// Rows captured by the union of all live rules. Parallel across rules
+  /// when num_threads > 1.
   Bitset EvalRuleSet(const RuleSet& rules) const;
+
+  /// Capture bitmaps of the given live rules, in `ids` order — the bulk
+  /// build behind EvalRuleSet and CaptureTracker. Parallel across rules
+  /// when num_threads > 1.
+  std::vector<Bitset> EvalRules(const RuleSet& rules,
+                                const std::vector<RuleId>& ids) const;
 
   /// Label-partitioned count of the rows in `captured`, using visible labels.
   LabelCounts CountsVisible(const Bitset& captured) const;
@@ -62,8 +90,24 @@ class RuleEvaluator {
   const std::vector<uint8_t>& ConceptMask(const Ontology* ontology,
                                           ConceptId concept_id) const;
 
+  // Serially materializes every concept mask (and warms the ontology
+  // caches) the rule's conditions need, so parallel scans only read
+  // mask_cache_. Must be called before any parallel region touching `rule`.
+  void EnsureMasks(const Rule& rule) const;
+
+  // Indices of the rule's non-trivial conditions.
+  std::vector<size_t> NonTrivialConditions(const Rule& rule) const;
+
+  // The serial scan, restricted to rows [lo, hi): finds survivors of the
+  // conditions and sets their bits in `out`. With word-aligned [lo, hi)
+  // partitions, concurrent calls write disjoint words of `out`.
+  void EvalRuleBlock(const Rule& rule, const std::vector<size_t>& conditions,
+                     size_t lo, size_t hi, Bitset* out) const;
+
   const Relation& relation_;
   size_t num_rows_;
+  int num_threads_;
+  ThreadPool* pool_;  // null iff num_threads_ <= 1
   // Memoized concept masks keyed by (ontology pointer, concept id).
   mutable std::vector<std::pair<std::pair<const Ontology*, ConceptId>,
                                 std::vector<uint8_t>>>

@@ -42,19 +42,49 @@ size_t Bitset::Count() const {
   return n;
 }
 
-size_t Bitset::CountPrefix(size_t prefix) const {
-  if (prefix > size_) prefix = size_;
-  size_t full = prefix / 64;
-  size_t n = 0;
-  for (size_t i = 0; i < full; ++i) {
-    n += static_cast<size_t>(__builtin_popcountll(words_[i]));
+size_t Bitset::CountPrefix(size_t prefix) const { return CountRange(0, prefix); }
+
+namespace {
+
+// Masks selecting the in-range bits of the first and last word of [begin, end).
+inline uint64_t HeadMask(size_t begin) { return ~uint64_t{0} << (begin % 64); }
+inline uint64_t TailMask(size_t end) {
+  size_t tail = end % 64;
+  return tail == 0 ? ~uint64_t{0} : (uint64_t{1} << tail) - 1;
+}
+
+}  // namespace
+
+size_t Bitset::CountRange(size_t begin, size_t end) const {
+  if (end > size_) end = size_;
+  if (begin >= end) return 0;
+  size_t first = begin / 64;
+  size_t last = (end - 1) / 64;
+  if (first == last) {
+    return static_cast<size_t>(
+        __builtin_popcountll(words_[first] & HeadMask(begin) & TailMask(end)));
   }
-  size_t tail = prefix % 64;
-  if (tail != 0) {
-    uint64_t mask = (uint64_t{1} << tail) - 1;
-    n += static_cast<size_t>(__builtin_popcountll(words_[full] & mask));
+  size_t n = static_cast<size_t>(__builtin_popcountll(words_[first] & HeadMask(begin)));
+  for (size_t w = first + 1; w < last; ++w) {
+    n += static_cast<size_t>(__builtin_popcountll(words_[w]));
   }
+  n += static_cast<size_t>(__builtin_popcountll(words_[last] & TailMask(end)));
   return n;
+}
+
+void Bitset::OrRange(const Bitset& other, size_t begin, size_t end) {
+  assert(size_ == other.size_);
+  if (end > size_) end = size_;
+  if (begin >= end) return;
+  size_t first = begin / 64;
+  size_t last = (end - 1) / 64;
+  if (first == last) {
+    words_[first] |= other.words_[first] & HeadMask(begin) & TailMask(end);
+    return;
+  }
+  words_[first] |= other.words_[first] & HeadMask(begin);
+  for (size_t w = first + 1; w < last; ++w) words_[w] |= other.words_[w];
+  words_[last] |= other.words_[last] & TailMask(end);
 }
 
 Bitset& Bitset::operator|=(const Bitset& other) {

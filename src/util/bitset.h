@@ -38,6 +38,16 @@ class Bitset {
   bool Any() const { return Count() > 0; }
   bool None() const { return Count() == 0; }
 
+  /// Number of set bits in [begin, end) (clamped to size).
+  size_t CountRange(size_t begin, size_t end) const;
+
+  /// ORs `other`'s bits in [begin, end) into this; bits outside the range
+  /// are untouched. `other` must have the same size. When `begin` and `end`
+  /// are multiples of 64 (or `end == size()`), only whole words inside the
+  /// range are written — concurrent OrRange calls over disjoint
+  /// word-aligned ranges of the same destination therefore never race.
+  void OrRange(const Bitset& other, size_t begin, size_t end);
+
   /// In-place union; `other` must have the same size.
   Bitset& operator|=(const Bitset& other);
   /// In-place intersection; `other` must have the same size.

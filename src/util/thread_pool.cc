@@ -1,0 +1,159 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+namespace rudolf {
+
+namespace {
+
+// Identifies the pool (if any) whose WorkerLoop is running on this thread.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+// Chunks handed out per worker per episode; >1 lets fast workers absorb
+// skew (e.g. a selective rule block finishing early) without work stealing.
+constexpr size_t kChunksPerThread = 4;
+
+}  // namespace
+
+int ResolveNumThreads(int requested) {
+  if (const char* env = std::getenv("RUDOLF_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) {
+      return static_cast<int>(std::min<long>(v, 1024));
+    }
+  }
+  if (requested == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return std::max(requested, 1);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  int spawn = std::max(num_threads, 1) - 1;
+  workers_.reserve(static_cast<size_t>(spawn));
+  for (int i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::OnWorkerThread() const { return tls_worker_pool == this; }
+
+void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    const std::function<void()>* episode = episode_;
+    lock.unlock();
+    (*episode)();
+    lock.lock();
+    if (--remaining_ == 0) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (end <= begin) return;
+  if (OnWorkerThread()) {
+    throw std::logic_error("ThreadPool::ParallelFor is not reentrant");
+  }
+  if (grain == 0) grain = 1;
+  const size_t n = end - begin;
+  // Units of `grain`; boundaries stay at begin + k*grain in all cases.
+  const size_t units = (n + grain - 1) / grain;
+  const size_t gang = static_cast<size_t>(num_threads());
+  if (workers_.empty() || units <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  const size_t units_per_chunk =
+      std::max<size_t>(1, units / (gang * kChunksPerThread));
+  const size_t chunk = units_per_chunk * grain;
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+
+  std::atomic<size_t> cursor{0};
+  std::exception_ptr first_error = nullptr;
+  std::mutex error_mu;
+  const std::function<void()> episode = [&] {
+    for (;;) {
+      size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      size_t lo = begin + c * chunk;
+      size_t hi = std::min(end, lo + chunk);
+      try {
+        body(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> g(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  {
+    // External callers may race to issue episodes; one gang, one at a time.
+    std::unique_lock<std::mutex> lock(mu_);
+    if (busy_ && issuer_ == std::this_thread::get_id()) {
+      // The issuing thread called back into its own episode (e.g. from the
+      // caller-run chunk); waiting on the gate would deadlock.
+      throw std::logic_error("ThreadPool::ParallelFor is not reentrant");
+    }
+    gate_cv_.wait(lock, [&] { return !busy_; });
+    busy_ = true;
+    issuer_ = std::this_thread::get_id();
+    episode_ = &episode;
+    remaining_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  {
+    // The caller is the gang's final member; while it runs chunks it counts
+    // as a worker, so bodies branching on OnWorkerThread() (to pick their
+    // serial fallback) behave the same on every gang member.
+    const ThreadPool* prev = tls_worker_pool;
+    tls_worker_pool = this;
+    episode();
+    tls_worker_pool = prev;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    episode_ = nullptr;
+    busy_ = false;
+  }
+  gate_cv_.notify_one();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool* ThreadPool::Shared(int num_threads) {
+  num_threads = std::max(num_threads, 1);
+  static std::mutex* registry_mu = new std::mutex;
+  // Leaked deliberately: shared pools (and their worker threads) must
+  // survive static destruction of arbitrary clients.
+  static auto* registry = new std::map<int, std::unique_ptr<ThreadPool>>;
+  std::lock_guard<std::mutex> lock(*registry_mu);
+  std::unique_ptr<ThreadPool>& slot = (*registry)[num_threads];
+  if (!slot) slot = std::make_unique<ThreadPool>(num_threads);
+  return slot.get();
+}
+
+}  // namespace rudolf

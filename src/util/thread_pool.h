@@ -1,0 +1,97 @@
+// A fixed-size fork-join worker pool (deliberately work-stealing-free) and
+// the ParallelFor range splitter built on it. This is the only concurrency
+// primitive of the engine: every parallel hot path — rule-set evaluation,
+// capture-bitmap builds, row-block columnar scans, clustering assignment —
+// expresses itself as a ParallelFor over disjoint index ranges, which keeps
+// the parallel results bit-identical to the serial ones by construction.
+
+#ifndef RUDOLF_UTIL_THREAD_POOL_H_
+#define RUDOLF_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rudolf {
+
+/// Resolves a requested worker count against the environment:
+///   * `RUDOLF_THREADS=<n>` (n >= 1) overrides everything — the switch for
+///     running an unmodified binary (or the whole test suite) parallel;
+///   * `requested == 0` means "all hardware threads";
+///   * `requested < 0` degrades to 1 (serial);
+///   * otherwise the request stands.
+int ResolveNumThreads(int requested);
+
+/// \brief A fixed gang of worker threads executing ParallelFor bodies.
+///
+/// The pool owns `num_threads - 1` OS threads; the caller of ParallelFor
+/// participates as the final worker, so a ThreadPool(1) owns no threads and
+/// runs everything inline. There is no task queue and no work stealing:
+/// each ParallelFor is one fork-join episode in which workers pull disjoint
+/// chunks off a shared atomic cursor. Chunk-to-thread assignment is
+/// nondeterministic, but chunk *boundaries* are fixed arithmetic — so any
+/// body whose writes are indexed by its chunk produces identical results at
+/// every thread count.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (clamped below at 1 total).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism including the calling thread.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// True when the calling thread is executing one of this pool's
+  /// ParallelFor bodies — on a worker thread, or on the issuing thread
+  /// while it runs its own share of the chunks.
+  bool OnWorkerThread() const;
+
+  /// \brief Runs `body(lo, hi)` over a partition of [begin, end).
+  ///
+  /// The range is cut into contiguous chunks whose boundaries are always
+  /// `begin + k * grain` (the final chunk may be short), so with `begin`
+  /// and `grain` multiples of 64 every chunk covers whole Bitset words and
+  /// concurrent bodies never write the same word. `grain` is also the
+  /// minimum chunk size: ranges not longer than one grain run inline on the
+  /// caller.
+  ///
+  /// Throws std::logic_error when called from inside one of this pool's own
+  /// bodies — from a worker thread or re-entrantly from the issuing thread's
+  /// caller-run chunk (nesting the same gang would deadlock; callers branch
+  /// on OnWorkerThread() to fall back to serial code instead). If bodies
+  /// throw, every chunk still runs and the first exception is rethrown on
+  /// the calling thread afterwards.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& body);
+
+  /// Process-wide pool of exactly `num_threads`, created on first use and
+  /// shared by every caller requesting that size. Never destroyed (workers
+  /// must outlive static teardown of any user).
+  static ThreadPool* Shared(int num_threads);
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a new episode is up
+  std::condition_variable done_cv_;  // issuer: all workers checked out
+  std::condition_variable gate_cv_;  // issuers: the gang is free again
+  const std::function<void()>* episode_ = nullptr;
+  uint64_t generation_ = 0;
+  int remaining_ = 0;  // workers still inside the current episode
+  bool busy_ = false;  // a ParallelFor currently owns the gang
+  std::thread::id issuer_;  // thread that issued the current episode
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_UTIL_THREAD_POOL_H_

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace rudolf {
 namespace {
 
@@ -142,6 +144,90 @@ TEST(Bitset, ExactlyWordSized) {
   EXPECT_EQ(b.Count(), 64u);
   b.Clear(63);
   EXPECT_EQ(b.Count(), 63u);
+}
+
+TEST(Bitset, CountRangeAgainstReference) {
+  Bitset b(300);
+  for (size_t i = 0; i < 300; i += 7) b.Set(i);
+  auto reference = [&](size_t lo, size_t hi) {
+    size_t n = 0;
+    for (size_t i = lo; i < hi && i < b.size(); ++i) n += b.Test(i);
+    return n;
+  };
+  // Word-aligned, unaligned, cross-word, single-word, and clamped ranges.
+  const size_t cases[][2] = {{0, 300},  {0, 64},    {64, 192}, {0, 1},
+                             {63, 65},  {100, 103}, {7, 7},    {290, 1000},
+                             {13, 250}, {128, 128}, {299, 300}};
+  for (const auto& c : cases) {
+    EXPECT_EQ(b.CountRange(c[0], c[1]), reference(c[0], c[1]))
+        << "[" << c[0] << ", " << c[1] << ")";
+  }
+  EXPECT_EQ(b.CountRange(10, 5), 0u);  // inverted range is empty
+  EXPECT_EQ(b.CountRange(0, 300), b.Count());
+}
+
+TEST(Bitset, OrRangeOnlyTouchesTheRange) {
+  Bitset src(200, true);
+  Bitset dst(200);
+  dst.OrRange(src, 64, 128);  // word-aligned interior range
+  EXPECT_EQ(dst.Count(), 64u);
+  EXPECT_FALSE(dst.Test(63));
+  EXPECT_TRUE(dst.Test(64));
+  EXPECT_TRUE(dst.Test(127));
+  EXPECT_FALSE(dst.Test(128));
+}
+
+TEST(Bitset, OrRangeUnalignedBoundaries) {
+  Bitset src(200, true);
+  Bitset dst(200);
+  dst.OrRange(src, 10, 70);  // head and tail both mid-word
+  EXPECT_EQ(dst.Count(), 60u);
+  EXPECT_FALSE(dst.Test(9));
+  EXPECT_TRUE(dst.Test(10));
+  EXPECT_TRUE(dst.Test(69));
+  EXPECT_FALSE(dst.Test(70));
+  Bitset single(200);
+  single.OrRange(src, 65, 67);  // both boundaries inside one word
+  EXPECT_EQ(single.Count(), 2u);
+  EXPECT_TRUE(single.Test(65));
+  EXPECT_TRUE(single.Test(66));
+}
+
+TEST(Bitset, OrRangePreservesExistingBits) {
+  Bitset src(128);
+  src.Set(100);
+  Bitset dst(128);
+  dst.Set(3);
+  dst.Set(100);
+  dst.OrRange(src, 64, 128);
+  EXPECT_TRUE(dst.Test(3));    // outside the range, untouched
+  EXPECT_TRUE(dst.Test(100));  // OR keeps bits already set
+  EXPECT_EQ(dst.Count(), 2u);
+}
+
+TEST(Bitset, OrRangeClampsAndIgnoresEmpty) {
+  Bitset src(70, true);
+  Bitset dst(70);
+  dst.OrRange(src, 64, 1000);  // end clamps to size
+  EXPECT_EQ(dst.Count(), 6u);
+  Bitset untouched(70);
+  untouched.OrRange(src, 30, 30);
+  untouched.OrRange(src, 50, 20);
+  EXPECT_TRUE(untouched.None());
+}
+
+TEST(Bitset, DisjointWordAlignedOrRangesComposeToFullUnion) {
+  // The decomposition the parallel EvalRuleSet union relies on: OR-ing
+  // word-aligned disjoint blocks must reproduce operator|= exactly.
+  Bitset src(1000);
+  for (size_t i = 0; i < 1000; i += 3) src.Set(i);
+  Bitset expected(1000);
+  expected |= src;
+  Bitset dst(1000);
+  for (size_t lo = 0; lo < 1000; lo += 192) {
+    dst.OrRange(src, lo, std::min<size_t>(1000, lo + 192));
+  }
+  EXPECT_EQ(dst, expected);
 }
 
 TEST(Bitset, InPlaceOperators) {

@@ -1,0 +1,204 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rudolf {
+namespace {
+
+TEST(ResolveNumThreads, DefaultsAndClamps) {
+  // The suite may run under an external RUDOLF_THREADS (e.g. the TSan
+  // invocation documented in README); only assert env-free semantics when
+  // the variable is absent.
+  if (std::getenv("RUDOLF_THREADS") != nullptr) {
+    GTEST_SKIP() << "RUDOLF_THREADS overrides requested counts";
+  }
+  EXPECT_EQ(ResolveNumThreads(1), 1);
+  EXPECT_EQ(ResolveNumThreads(4), 4);
+  EXPECT_EQ(ResolveNumThreads(-3), 1);  // degenerate requests go serial
+  EXPECT_GE(ResolveNumThreads(0), 1);   // 0 = hardware concurrency
+}
+
+TEST(ThreadPool, ConstructionAndTeardown) {
+  // Pools of every small size come up and wind down cleanly, including the
+  // degenerate single-thread pool that owns no workers.
+  for (int n = 1; n <= 8; ++n) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.num_threads(), n);
+    EXPECT_FALSE(pool.OnWorkerThread());
+  }
+}
+
+TEST(ThreadPool, RepeatedTeardownAfterUse) {
+  for (int round = 0; round < 10; ++round) {
+    ThreadPool pool(4);
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(0, 1000, 1, [&](size_t lo, size_t hi) {
+      sum.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 1000u);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(0, hits.size(), 64, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, 1, [&](size_t, size_t) { ++calls; });
+  pool.ParallelFor(7, 3, 1, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, RangeSmallerThanGrainRunsInlineAsOneChunk) {
+  ThreadPool pool(4);
+  std::vector<std::pair<size_t, size_t>> chunks;
+  pool.ParallelFor(10, 40, 100, [&](size_t lo, size_t hi) {
+    chunks.emplace_back(lo, hi);  // single inline call: no race possible
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<size_t, size_t>{10, 40}));
+}
+
+TEST(ThreadPool, GrainOneCoversEveryIndex) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(0, hits.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, GrainZeroIsTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<size_t> covered{0};
+  pool.ParallelFor(0, 100, 0, [&](size_t lo, size_t hi) {
+    covered.fetch_add(hi - lo, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(covered.load(), 100u);
+}
+
+TEST(ThreadPool, ChunkBoundariesAreGrainMultiples) {
+  ThreadPool pool(4);
+  const size_t grain = 64;
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  pool.ParallelFor(0, 10000, grain, [&](size_t lo, size_t hi) {
+    std::lock_guard<std::mutex> g(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  size_t total = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo % grain, 0u);
+    EXPECT_TRUE(hi % grain == 0 || hi == 10000u);
+    total += hi - lo;
+  }
+  EXPECT_EQ(total, 10000u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 1000, 1,
+                       [&](size_t lo, size_t) {
+                         if (lo >= 500) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionStillRunsAllChunks) {
+  ThreadPool pool(4);
+  std::atomic<size_t> covered{0};
+  try {
+    pool.ParallelFor(0, 1000, 1, [&](size_t lo, size_t hi) {
+      covered.fetch_add(hi - lo, std::memory_order_relaxed);
+      if (lo == 0) throw std::runtime_error("first chunk fails");
+    });
+    FAIL() << "expected the body exception to be rethrown";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(covered.load(), 1000u);
+}
+
+TEST(ThreadPool, ReentrantParallelForIsRejected) {
+  ThreadPool pool(4);
+  // Every nested ParallelFor attempted from inside an episode — whether the
+  // chunk runs on a worker thread or on the issuing caller — must throw
+  // std::logic_error; none may silently run its body or deadlock.
+  std::atomic<int> attempts{0};
+  std::atomic<int> rejections{0};
+  std::atomic<int> nested_bodies_ran{0};
+  pool.ParallelFor(0, 256, 1, [&](size_t, size_t) {
+    attempts.fetch_add(1, std::memory_order_relaxed);
+    try {
+      pool.ParallelFor(0, 4, 1, [&](size_t, size_t) {
+        nested_bodies_ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    } catch (const std::logic_error&) {
+      rejections.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_GT(attempts.load(), 0);
+  EXPECT_EQ(nested_bodies_ran.load(), 0);
+  EXPECT_EQ(rejections.load(), attempts.load());
+}
+
+TEST(ThreadPool, OnWorkerThreadDistinguishesPools) {
+  ThreadPool a(3);
+  ThreadPool b(3);
+  std::atomic<int> cross_hits{0};
+  a.ParallelFor(0, 32, 1, [&](size_t, size_t) {
+    if (a.OnWorkerThread() && b.OnWorkerThread()) {
+      cross_hits.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(cross_hits.load(), 0);
+}
+
+TEST(ThreadPool, SharedPoolIsMemoizedPerSize) {
+  ThreadPool* p4 = ThreadPool::Shared(4);
+  ThreadPool* p4_again = ThreadPool::Shared(4);
+  ThreadPool* p2 = ThreadPool::Shared(2);
+  EXPECT_EQ(p4, p4_again);
+  EXPECT_NE(p4, p2);
+  EXPECT_EQ(p4->num_threads(), 4);
+  EXPECT_EQ(p2->num_threads(), 2);
+}
+
+TEST(ThreadPool, DeterministicSumRegardlessOfThreads) {
+  // The canonical usage pattern: disjoint chunks writing disjoint slots.
+  const size_t n = 100000;
+  std::vector<uint64_t> reference(n);
+  std::iota(reference.begin(), reference.end(), 0);
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    std::vector<uint64_t> out(n, 0);
+    pool.ParallelFor(0, n, 64, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) out[i] = i;
+    });
+    EXPECT_EQ(out, reference) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace rudolf
