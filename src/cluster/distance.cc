@@ -5,11 +5,48 @@
 
 namespace rudolf {
 
+namespace {
+
+// Ontologies up to this many concepts get a dense pairwise distance table;
+// larger ones (quadratic space) fall back to per-call BFS.
+constexpr size_t kMaxConceptTableSize = 256;
+
+}  // namespace
+
 TupleDistance::TupleDistance(std::shared_ptr<const Schema> schema,
                              DistanceOptions options)
     : schema_(std::move(schema)), weights_(std::move(options.weights)) {
   if (weights_.empty()) weights_.assign(schema_->arity(), 1.0);
   assert(weights_.size() == schema_->arity());
+  concept_table_.resize(schema_->arity());
+  for (size_t i = 0; i < schema_->arity(); ++i) {
+    const AttributeDef& def = schema_->attribute(i);
+    if (def.kind != AttrKind::kCategorical) continue;
+    size_t n = def.ontology->size();
+    if (n > kMaxConceptTableSize) continue;
+    def.ontology->WarmCaches();
+    std::vector<float>& table = concept_table_[i];
+    table.assign(n * n, 0.0f);
+    for (ConceptId a = 0; a < n; ++a) {
+      for (ConceptId b = a + 1; b < n; ++b) {
+        float d = static_cast<float>(def.ontology->UpwardDistance(a, b) +
+                                     def.ontology->UpwardDistance(b, a)) /
+                  2.0f;
+        table[a * n + b] = d;
+        table[b * n + a] = d;
+      }
+    }
+  }
+}
+
+double TupleDistance::ConceptDistance(size_t attr, ConceptId a, ConceptId b) const {
+  const std::vector<float>& table = concept_table_[attr];
+  if (!table.empty()) {
+    size_t n = schema_->attribute(attr).ontology->size();
+    return table[static_cast<size_t>(a) * n + b];
+  }
+  const Ontology& ontology = *schema_->attribute(attr).ontology;
+  return (ontology.UpwardDistance(a, b) + ontology.UpwardDistance(b, a)) / 2.0;
 }
 
 double TupleDistance::operator()(const Tuple& a, const Tuple& b) const {
@@ -24,9 +61,7 @@ double TupleDistance::operator()(const Tuple& a, const Tuple& b) const {
       ConceptId ca = static_cast<ConceptId>(a[i]);
       ConceptId cb = static_cast<ConceptId>(b[i]);
       if (ca != cb) {
-        int up_ab = def.ontology->UpwardDistance(ca, cb);
-        int up_ba = def.ontology->UpwardDistance(cb, ca);
-        total += weights_[i] * (up_ab + up_ba) / 2.0;
+        total += weights_[i] * ConceptDistance(i, ca, cb);
       }
     }
   }

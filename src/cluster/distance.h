@@ -26,6 +26,13 @@ struct DistanceOptions {
 ///   numeric attribute:     weight · |a − b|
 ///   categorical attribute: weight · (up(a→b) + up(b→a)) / 2, where up is the
 ///                          ontological UpwardDistance — 0 iff a == b.
+///
+/// For small ontologies the symmetric concept distances are precomputed
+/// into a dense per-attribute table at construction, so the clustering and
+/// representative-distance loops (thousands of pairs against the same few
+/// dozen concepts) reuse one BFS per concept pair instead of re-running it
+/// per tuple pair. The tables are immutable after construction, keeping
+/// operator() safe for the parallel clustering paths.
 class TupleDistance {
  public:
   TupleDistance(std::shared_ptr<const Schema> schema, DistanceOptions options = {});
@@ -35,8 +42,15 @@ class TupleDistance {
   const Schema& schema() const { return *schema_; }
 
  private:
+  // Symmetric half-sum distance (up(a→b)+up(b→a))/2 via the table when one
+  // exists for the attribute, else directly from the ontology.
+  double ConceptDistance(size_t attr, ConceptId a, ConceptId b) const;
+
   std::shared_ptr<const Schema> schema_;
   std::vector<double> weights_;
+  // concept_table_[attr][a * size + b]; empty vector = no table (numeric
+  // attribute or ontology too large to pretabulate).
+  std::vector<std::vector<float>> concept_table_;
 };
 
 /// Derives per-attribute weights from the data: numeric attributes get

@@ -42,6 +42,13 @@ Bitset CaptureTracker::Eval(const Rule& rule) const {
   return evaluator_.EvalRule(rule);
 }
 
+std::vector<Bitset> CaptureTracker::EvalMany(const std::vector<Rule>& rules) const {
+  std::vector<Bitset> captures;
+  captures.reserve(rules.size());
+  for (const Rule& rule : rules) captures.push_back(evaluator_.EvalRule(rule));
+  return captures;
+}
+
 BenefitDelta CaptureTracker::DeltaBetween(const Bitset& old_capture,
                                           const Bitset& new_capture) const {
   BenefitDelta delta;

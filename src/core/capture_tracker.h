@@ -51,6 +51,13 @@ class CaptureTracker {
   /// Evaluates a rule over the prefix (convenience wrapper).
   Bitset Eval(const Rule& rule) const;
 
+  /// Evaluates a batch of candidate rules (e.g. the replacement sides of a
+  /// split) over the prefix. Goes through the evaluator's condition index,
+  /// so candidates sharing all but one condition with an already-evaluated
+  /// rule reuse the cached per-condition bitmaps and pay only the narrowed
+  /// attribute's extraction.
+  std::vector<Bitset> EvalMany(const std::vector<Rule>& rules) const;
+
   /// Benefit delta if rule `id`'s capture became `new_capture`.
   BenefitDelta DeltaForReplace(RuleId id, const Bitset& new_capture) const;
 

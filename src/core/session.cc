@@ -28,6 +28,7 @@ void Accumulate(SpecializeStats* into, const SpecializeStats& from) {
   into->splits_applied += from.splits_applied;
   into->rules_removed += from.rules_removed;
   into->skipped_tuples += from.skipped_tuples;
+  into->truncated_tuples += from.truncated_tuples;
   into->expert_seconds += from.expert_seconds;
 }
 

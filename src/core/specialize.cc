@@ -26,13 +26,18 @@ std::vector<SplitProposal> SpecializationEngine::RankSplits(
       const Interval& iv = cond.interval();
       int64_t v = l[attr];
       assert(iv.Contains(v));
-      // prev(l.A) / succ(l.A) over the discrete int64 domain.
-      if (iv.lo < v) {  // implies iv.lo != kNegInf ⇒ v-1 is valid… also lo=-inf ok
+      // prev(l.A) / succ(l.A) over the discrete int64 domain. kNegInf/kPosInf
+      // (INT64_MIN/MAX) are open-end sentinels, not data values, so a side
+      // whose finite bound would land *on* a sentinel (v-1 == kNegInf or
+      // v+1 == kPosInf) could only capture sentinel-valued cells — skip it
+      // rather than emit an interval that reads as unbounded. The `&&`
+      // short-circuit also keeps v±1 from overflowing at the domain extremes.
+      if (iv.lo < v && v - 1 > kNegInf) {
         Rule r1 = rule;
         r1.set_condition(attr, Condition::MakeNumeric({iv.lo, v - 1}));
         replacements.push_back(std::move(r1));
       }
-      if (iv.hi > v) {
+      if (iv.hi > v && v + 1 < kPosInf) {
         Rule r2 = rule;
         r2.set_condition(attr, Condition::MakeNumeric({v + 1, iv.hi}));
         replacements.push_back(std::move(r2));
@@ -62,9 +67,7 @@ std::vector<SplitProposal> SpecializationEngine::RankSplits(
     p.attribute = attr;
     p.excluded = l;
     p.excluded_row = row;
-    std::vector<Bitset> captures;
-    captures.reserve(replacements.size());
-    for (const Rule& r : replacements) captures.push_back(tracker.Eval(r));
+    std::vector<Bitset> captures = tracker.EvalMany(replacements);
     p.delta = tracker.DeltaForReplaceMany(rule_id, captures);
     p.benefit = options_.cost_model.Benefit(p.delta);
     p.replacement_counts.reserve(captures.size());
@@ -134,6 +137,7 @@ SpecializeStats SpecializationEngine::Run(RuleSet* rules, CaptureTracker* tracke
     }
   }
   if (legit_rows.size() > options_.max_legit_tuples) {
+    stats.truncated_tuples = legit_rows.size() - options_.max_legit_tuples;
     legit_rows.resize(options_.max_legit_tuples);
   }
 

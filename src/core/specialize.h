@@ -48,6 +48,8 @@ struct SpecializeStats {
   size_t splits_applied = 0;
   size_t rules_removed = 0;     ///< splits that eliminated a rule entirely
   size_t skipped_tuples = 0;    ///< tuples left captured (expert declined)
+  size_t truncated_tuples = 0;  ///< captured legit tuples dropped by the
+                                ///< max_legit_tuples cap (not examined)
   double expert_seconds = 0.0;
 };
 

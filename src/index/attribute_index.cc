@@ -1,0 +1,101 @@
+#include "index/attribute_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+namespace rudolf {
+
+namespace {
+
+// Chunk sizing: few enough cumulative snapshots that the index stays within
+// ~1 byte/row of bitmap memory, large enough that partial-chunk fixups are
+// cheap relative to the word-wise difference.
+constexpr size_t kMaxChunks = 64;
+constexpr size_t kMinChunk = 1024;
+
+size_t ChunkFor(size_t n) {
+  size_t by_count = (n + kMaxChunks - 1) / kMaxChunks;
+  return std::max(kMinChunk, by_count);
+}
+
+}  // namespace
+
+NumericAttributeIndex::NumericAttributeIndex(const std::vector<CellValue>& column,
+                                             size_t prefix_rows)
+    : prefix_(prefix_rows), chunk_(ChunkFor(prefix_rows)) {
+  assert(column.size() >= prefix_rows);
+  assert(prefix_rows <= std::numeric_limits<uint32_t>::max());
+  sorted_.reserve(prefix_);
+  for (size_t r = 0; r < prefix_; ++r) {
+    sorted_.push_back(Entry{column[r], static_cast<uint32_t>(r)});
+  }
+  std::sort(sorted_.begin(), sorted_.end(), [](const Entry& a, const Entry& b) {
+    return a.value < b.value || (a.value == b.value && a.row < b.row);
+  });
+  size_t chunks = prefix_ / chunk_;  // only whole chunks get a snapshot
+  cum_.reserve(chunks + 1);
+  cum_.emplace_back(prefix_);
+  Bitset running(prefix_);
+  for (size_t k = 1; k <= chunks; ++k) {
+    for (size_t i = (k - 1) * chunk_; i < k * chunk_; ++i) {
+      running.Set(sorted_[i].row);
+    }
+    cum_.push_back(running);
+  }
+}
+
+Bitset NumericAttributeIndex::Extract(const Interval& iv) const {
+  Bitset out(prefix_);
+  if (iv.Empty() || prefix_ == 0) return out;
+  auto value_less = [](const Entry& e, int64_t v) { return e.value < v; };
+  auto less_value = [](int64_t v, const Entry& e) { return v < e.value; };
+  size_t lo = static_cast<size_t>(
+      std::lower_bound(sorted_.begin(), sorted_.end(), iv.lo, value_less) -
+      sorted_.begin());
+  size_t hi = static_cast<size_t>(
+      std::upper_bound(sorted_.begin(), sorted_.end(), iv.hi, less_value) -
+      sorted_.begin());
+  if (lo >= hi) return out;
+  // Whole chunks inside [lo, hi) come from one cumulative difference; the
+  // ragged ends are set individually.
+  size_t first_chunk = (lo + chunk_ - 1) / chunk_;
+  size_t last_chunk = hi / chunk_;
+  if (first_chunk < last_chunk && last_chunk < cum_.size()) {
+    out = cum_[last_chunk];
+    out.Subtract(cum_[first_chunk]);
+    for (size_t i = lo; i < first_chunk * chunk_; ++i) out.Set(sorted_[i].row);
+    for (size_t i = last_chunk * chunk_; i < hi; ++i) out.Set(sorted_[i].row);
+  } else {
+    for (size_t i = lo; i < hi; ++i) out.Set(sorted_[i].row);
+  }
+  return out;
+}
+
+CategoricalAttributeIndex::CategoricalAttributeIndex(
+    const std::vector<CellValue>& column, size_t prefix_rows,
+    const Ontology* ontology)
+    : prefix_(prefix_rows), ontology_(ontology) {
+  assert(column.size() >= prefix_rows);
+  ontology_->WarmCaches();
+  std::unordered_map<ConceptId, size_t> slot;
+  for (size_t r = 0; r < prefix_; ++r) {
+    ConceptId value = static_cast<ConceptId>(column[r]);
+    auto [it, inserted] = slot.emplace(value, postings_.size());
+    if (inserted) postings_.emplace_back(value, Bitset(prefix_));
+    postings_[it->second].second.Set(r);
+  }
+}
+
+Bitset CategoricalAttributeIndex::Extract(ConceptId concept_id) const {
+  Bitset out(prefix_);
+  for (const auto& [value, rows] : postings_) {
+    if (ontology_->IsValid(value) && ontology_->Contains(concept_id, value)) {
+      out |= rows;
+    }
+  }
+  return out;
+}
+
+}  // namespace rudolf

@@ -1,0 +1,82 @@
+// Per-attribute columnar indexes over a prefix of the transaction relation —
+// the extraction layer of the incremental condition-indexed evaluation path
+// (see DESIGN.md "Condition index & cache"):
+//   * numeric attributes: a value-sorted projection of the column plus
+//     chunked cumulative bitmaps, so an interval condition becomes two
+//     binary searches, one word-wise bitmap difference, and at most two
+//     partial-chunk fixups;
+//   * categorical attributes: one posting bitmap per distinct stored value,
+//     so a containment condition A ≤ c becomes a union of the postings
+//     whose value the ontology places under c.
+// Extraction is exact: the produced bitmaps are bit-identical to the
+// columnar scan over the same prefix, whatever the stored values (postings
+// are keyed by raw cell value, not by ontology leaves, so even malformed
+// non-leaf cells behave exactly as the scan treats them).
+
+#ifndef RUDOLF_INDEX_ATTRIBUTE_INDEX_H_
+#define RUDOLF_INDEX_ATTRIBUTE_INDEX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ontology/ontology.h"
+#include "relation/value.h"
+#include "rules/condition.h"
+#include "util/bitset.h"
+
+namespace rudolf {
+
+/// \brief Sorted projection of one numeric column prefix with chunked
+/// cumulative bitmaps for O(rows/64) range extraction.
+class NumericAttributeIndex {
+ public:
+  /// Indexes the first `prefix_rows` entries of `column` (which must be at
+  /// least that long). Build is O(n log n); memory is ~13 bytes per row.
+  NumericAttributeIndex(const std::vector<CellValue>& column, size_t prefix_rows);
+
+  size_t prefix_rows() const { return prefix_; }
+
+  /// Rows r < prefix_rows() with column[r] ∈ iv — the same bits the
+  /// columnar scan of the interval condition would set.
+  Bitset Extract(const Interval& iv) const;
+
+ private:
+  struct Entry {
+    CellValue value;
+    uint32_t row;
+  };
+
+  size_t prefix_;
+  size_t chunk_;                  // entries per cumulative chunk
+  std::vector<Entry> sorted_;     // ascending by (value, row)
+  // cum_[k] = bitmap of the rows of sorted_[0, k*chunk_). Nested sets, so
+  // the rows of any aligned slice are cum_[b] & ~cum_[a].
+  std::vector<Bitset> cum_;
+};
+
+/// \brief Posting bitmaps per distinct stored value of one categorical
+/// column prefix.
+class CategoricalAttributeIndex {
+ public:
+  /// Indexes the first `prefix_rows` entries of `column`. The ontology must
+  /// outlive the index; its caches are warmed so Extract is read-only.
+  CategoricalAttributeIndex(const std::vector<CellValue>& column,
+                            size_t prefix_rows, const Ontology* ontology);
+
+  size_t prefix_rows() const { return prefix_; }
+
+  /// Rows whose stored value the ontology places under `concept_id`
+  /// (reflexive containment), exactly as the scan's concept mask would.
+  Bitset Extract(ConceptId concept_id) const;
+
+ private:
+  size_t prefix_;
+  const Ontology* ontology_;
+  // One posting per distinct stored value, in first-seen order.
+  std::vector<std::pair<ConceptId, Bitset>> postings_;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_INDEX_ATTRIBUTE_INDEX_H_

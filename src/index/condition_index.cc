@@ -1,0 +1,83 @@
+#include "index/condition_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rudolf {
+
+ConditionIndex::ConditionIndex(const Relation& relation, size_t prefix_rows,
+                               size_t cache_capacity)
+    : relation_(relation),
+      requested_prefix_(prefix_rows),
+      snapshot_rows_(relation.NumRows()),
+      prefix_(std::min(prefix_rows, relation.NumRows())),
+      numeric_(relation.schema().arity()),
+      categorical_(relation.schema().arity()),
+      cache_(cache_capacity) {}
+
+void ConditionIndex::EnsureForRule(const Rule& rule) {
+  const Schema& schema = relation_.schema();
+  assert(rule.arity() == schema.arity());
+  for (size_t i = 0; i < rule.arity(); ++i) {
+    const AttributeDef& def = schema.attribute(i);
+    if (rule.condition(i).IsTrivial(def)) continue;
+    if (def.kind == AttrKind::kNumeric) {
+      if (numeric_[i] == nullptr) {
+        numeric_[i] = std::make_unique<NumericAttributeIndex>(
+            relation_.Column(i), prefix_);
+      }
+    } else {
+      if (categorical_[i] == nullptr) {
+        categorical_[i] = std::make_unique<CategoricalAttributeIndex>(
+            relation_.Column(i), prefix_, def.ontology.get());
+      } else {
+        def.ontology->WarmCaches();
+      }
+    }
+  }
+}
+
+bool ConditionIndex::ReadyForRule(const Rule& rule) const {
+  const Schema& schema = relation_.schema();
+  for (size_t i = 0; i < rule.arity(); ++i) {
+    const AttributeDef& def = schema.attribute(i);
+    if (rule.condition(i).IsTrivial(def)) continue;
+    if (def.kind == AttrKind::kNumeric) {
+      if (numeric_[i] == nullptr) return false;
+    } else {
+      if (categorical_[i] == nullptr) return false;
+    }
+  }
+  return true;
+}
+
+std::shared_ptr<const Bitset> ConditionIndex::ConditionBitmap(
+    size_t attr, const Condition& cond) {
+  ConditionKey key = ConditionKey::For(attr, cond);
+  if (std::shared_ptr<const Bitset> hit = cache_.Get(key)) return hit;
+  // Extraction happens outside the cache lock; a concurrent extraction of
+  // the same key produces the identical bitmap and Put keeps one.
+  Bitset extracted;
+  if (cond.kind() == AttrKind::kNumeric) {
+    assert(numeric_[attr] != nullptr);
+    extracted = numeric_[attr]->Extract(cond.interval());
+  } else {
+    assert(categorical_[attr] != nullptr);
+    extracted = categorical_[attr]->Extract(cond.concept_id());
+  }
+  auto bitmap = std::make_shared<const Bitset>(std::move(extracted));
+  cache_.Put(key, bitmap);
+  return bitmap;
+}
+
+bool ConditionIndex::InvalidateIfGrown() {
+  if (relation_.NumRows() == snapshot_rows_) return false;
+  snapshot_rows_ = relation_.NumRows();
+  prefix_ = std::min(requested_prefix_, snapshot_rows_);
+  std::fill(numeric_.begin(), numeric_.end(), nullptr);
+  std::fill(categorical_.begin(), categorical_.end(), nullptr);
+  cache_.Clear();
+  return true;
+}
+
+}  // namespace rudolf

@@ -1,0 +1,80 @@
+// The condition-index facade: per-attribute indexes plus the shared
+// ConditionCache for one (relation, prefix) snapshot. A RuleEvaluator owns
+// one; evaluating a rule becomes an intersection of cached per-condition
+// bitmaps, and a candidate rule differing from an evaluated one in a single
+// condition (split sides, minimal generalizations) costs one extraction
+// plus arity−1 cache hits.
+//
+// Threading contract (mirrors RuleEvaluator::EnsureMasks): EnsureForRule is
+// the only mutating entry point for the attribute indexes and must run on
+// the coordinating thread before any parallel evaluation touching the rule;
+// ConditionBitmap and ReadyForRule are safe from worker threads afterwards
+// (the LRU cache is internally locked).
+//
+// Invalidation contract: indexes and cached bitmaps describe the first
+// prefix_rows() rows as of the last (re)build. A RuleEvaluator is bound to
+// a fixed prefix, so its index never goes stale. A long-lived index over an
+// advancing stream must call InvalidateIfGrown() before each use: when the
+// relation has grown past the snapshot it drops every index and bitmap and
+// re-binds the prefix.
+
+#ifndef RUDOLF_INDEX_CONDITION_INDEX_H_
+#define RUDOLF_INDEX_CONDITION_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "index/attribute_index.h"
+#include "index/condition_cache.h"
+#include "relation/relation.h"
+#include "rules/rule.h"
+
+namespace rudolf {
+
+/// \brief Per-attribute indexes + condition-bitmap cache over one relation
+/// prefix.
+class ConditionIndex {
+ public:
+  /// Binds to the first `prefix_rows` rows of `relation` (SIZE_MAX = all
+  /// rows at construction). Attribute indexes are built lazily by
+  /// EnsureForRule; construction itself is cheap.
+  explicit ConditionIndex(const Relation& relation,
+                          size_t prefix_rows = static_cast<size_t>(-1),
+                          size_t cache_capacity = ConditionCache::kDefaultCapacity);
+
+  size_t prefix_rows() const { return prefix_; }
+
+  /// Builds the missing attribute indexes behind the rule's non-trivial
+  /// conditions and warms the ontology caches they read. Serial-only (see
+  /// the threading contract above).
+  void EnsureForRule(const Rule& rule);
+
+  /// True if every non-trivial condition of the rule has its attribute
+  /// index built — the read-only fast path worker threads may take.
+  bool ReadyForRule(const Rule& rule) const;
+
+  /// Capture bitmap of one condition over the prefix: LRU-cached, extracted
+  /// from the attribute index on miss. Requires the attribute's index
+  /// (EnsureForRule / ReadyForRule). Thread-safe.
+  std::shared_ptr<const Bitset> ConditionBitmap(size_t attr, const Condition& cond);
+
+  /// Re-binds to the relation's current rows if it has grown (or shrunk)
+  /// since the last (re)build, dropping every index and cached bitmap.
+  /// Returns true if an invalidation happened.
+  bool InvalidateIfGrown();
+
+  ConditionCacheStats cache_stats() const { return cache_.stats(); }
+
+ private:
+  const Relation& relation_;
+  size_t requested_prefix_;
+  size_t snapshot_rows_;  // relation.NumRows() at the last (re)build
+  size_t prefix_;
+  std::vector<std::unique_ptr<NumericAttributeIndex>> numeric_;
+  std::vector<std::unique_ptr<CategoricalAttributeIndex>> categorical_;
+  ConditionCache cache_;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_INDEX_CONDITION_INDEX_H_

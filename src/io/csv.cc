@@ -70,8 +70,18 @@ Result<std::optional<std::vector<std::string>>> CsvReader::ReadRow() {
         field_was_quoted = false;
         break;
       case '\r':
-        // Swallow; the following '\n' (if any) terminates the record.
-        break;
+        // CR is only valid as part of a CRLF record terminator. A lone CR
+        // (classic-Mac line ending, or a stray control character mid-field)
+        // is rejected rather than silently swallowed — swallowing used to
+        // make "a\rb" parse as "ab".
+        if (in.peek() != '\n') {
+          return Status::ParseError("bare CR (expected CRLF) at line " +
+                                    std::to_string(current_line_));
+        }
+        in.get();
+        ++current_line_;
+        fields.push_back(std::move(field));
+        return std::optional<std::vector<std::string>>(std::move(fields));
       case '\n':
         fields.push_back(std::move(field));
         return std::optional<std::vector<std::string>>(std::move(fields));
@@ -84,6 +94,13 @@ Result<std::optional<std::vector<std::string>>> CsvReader::ReadRow() {
         field_was_quoted = true;
         break;
       default:
+        // After a closing quote only a separator or record terminator may
+        // follow; "abc"def used to concatenate to abcdef.
+        if (field_was_quoted) {
+          return Status::ParseError(
+              "unexpected character after closing quote at line " +
+              std::to_string(current_line_));
+        }
         field += c;
     }
   }
@@ -101,12 +118,11 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& text) 
   return rows;
 }
 
-std::string WriteCsv(const std::vector<std::vector<std::string>>& rows) {
+Result<std::string> WriteCsv(const std::vector<std::vector<std::string>>& rows) {
   std::ostringstream out;
   CsvWriter writer(&out);
   for (const auto& row : rows) {
-    Status st = writer.WriteRow(row);
-    (void)st;
+    RUDOLF_RETURN_NOT_OK(writer.WriteRow(row));
   }
   return out.str();
 }

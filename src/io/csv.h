@@ -38,7 +38,9 @@ class CsvReader {
   explicit CsvReader(std::istream* in) : in_(in) {}
 
   /// Reads the next record; std::nullopt at end of input. Fails on
-  /// unterminated quotes or stray quotes inside unquoted fields.
+  /// unterminated quotes, stray quotes inside unquoted fields, characters
+  /// between a closing quote and the next separator, and bare CR (records
+  /// end in LF or CRLF; classic-Mac CR-only input is rejected).
   Result<std::optional<std::vector<std::string>>> ReadRow();
 
   /// 1-based line number where the last record started (for error messages).
@@ -53,8 +55,8 @@ class CsvReader {
 /// Parses an entire CSV document from a string (convenience for tests).
 Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& text);
 
-/// Renders records as a CSV document.
-std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
+/// Renders records as a CSV document; surfaces stream-write failures.
+Result<std::string> WriteCsv(const std::vector<std::vector<std::string>>& rows);
 
 }  // namespace rudolf
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 
 namespace rudolf {
 
@@ -16,12 +18,23 @@ constexpr size_t kMinParallelRows = size_t{1} << 15;
 
 }  // namespace
 
+bool ResolveUseIndex(bool requested) {
+  if (const char* env = std::getenv("RUDOLF_INDEX")) {
+    if (std::strcmp(env, "0") == 0) return false;
+    if (std::strcmp(env, "1") == 0) return true;
+  }
+  return requested;
+}
+
 RuleEvaluator::RuleEvaluator(const Relation& relation, size_t prefix_rows,
                              EvalOptions options)
     : relation_(relation),
       num_rows_(std::min(prefix_rows, relation.NumRows())),
       num_threads_(ResolveNumThreads(options.num_threads)),
-      pool_(num_threads_ > 1 ? ThreadPool::Shared(num_threads_) : nullptr) {}
+      pool_(num_threads_ > 1 ? ThreadPool::Shared(num_threads_) : nullptr),
+      index_(ResolveUseIndex(options.use_index)
+                 ? std::make_unique<ConditionIndex>(relation, num_rows_)
+                 : nullptr) {}
 
 const std::vector<uint8_t>& RuleEvaluator::ConceptMask(const Ontology* ontology,
                                                        ConceptId concept_id) const {
@@ -108,6 +121,15 @@ void RuleEvaluator::EvalRuleBlock(const Rule& rule,
   for (size_t r : survivors) out->Set(r);
 }
 
+Bitset RuleEvaluator::EvalRuleIndexed(const Rule& rule,
+                                      const std::vector<size_t>& conditions) const {
+  Bitset out = *index_->ConditionBitmap(conditions[0], rule.condition(conditions[0]));
+  for (size_t c = 1; c < conditions.size(); ++c) {
+    out &= *index_->ConditionBitmap(conditions[c], rule.condition(conditions[c]));
+  }
+  return out;
+}
+
 Bitset RuleEvaluator::EvalRule(const Rule& rule) const {
   assert(rule.arity() == relation_.schema().arity());
   std::vector<size_t> conditions = NonTrivialConditions(rule);
@@ -115,6 +137,13 @@ Bitset RuleEvaluator::EvalRule(const Rule& rule) const {
   if (conditions.empty()) {
     out.Fill(true);
     return out;
+  }
+  if (index_ != nullptr) {
+    // Attribute indexes may only be built from the coordinating thread;
+    // worker-thread calls (EvalRules fan-out) find them pre-built and take
+    // the read-only path, or fall back to the (bit-identical) scan.
+    if (pool_ == nullptr || !pool_->OnWorkerThread()) index_->EnsureForRule(rule);
+    if (index_->ReadyForRule(rule)) return EvalRuleIndexed(rule, conditions);
   }
   if (pool_ != nullptr && num_rows_ >= kMinParallelRows &&
       !pool_->OnWorkerThread()) {
@@ -133,9 +162,15 @@ std::vector<Bitset> RuleEvaluator::EvalRules(const RuleSet& rules,
                                              const std::vector<RuleId>& ids) const {
   std::vector<Bitset> bitmaps(ids.size());
   if (pool_ != nullptr && ids.size() > 1 && !pool_->OnWorkerThread()) {
-    // Serially warm the mask cache so the workers' EvalRule calls (which
-    // fall back to the serial scan inside the pool) only read it.
-    for (RuleId id : ids) EnsureMasks(rules.Get(id));
+    // Serially warm the condition index (or the mask cache on the scan
+    // path) so the workers' EvalRule calls only read shared state.
+    for (RuleId id : ids) {
+      if (index_ != nullptr) {
+        index_->EnsureForRule(rules.Get(id));
+      } else {
+        EnsureMasks(rules.Get(id));
+      }
+    }
     pool_->ParallelFor(0, ids.size(), 1, [&](size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) bitmaps[i] = EvalRule(rules.Get(ids[i]));
     });

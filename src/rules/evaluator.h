@@ -6,13 +6,23 @@
 // parallelize across rules, single rules across word-aligned row blocks of
 // the columnar scan. Both decompositions produce bit-identical bitmaps to
 // the serial path — see DESIGN.md "Parallel evaluation pipeline".
+//
+// By default rules are evaluated through the condition index (src/index/):
+// each non-trivial condition's capture bitmap is extracted once from a
+// per-attribute index and LRU-cached, and a rule is the intersection of its
+// conditions' bitmaps — so candidate rules differing from an evaluated rule
+// in one condition (split sides, minimal generalizations) cost one
+// extraction instead of a full scan. The indexed path is bit-identical to
+// the scan; see DESIGN.md "Condition index & cache".
 
 #ifndef RUDOLF_RULES_EVALUATOR_H_
 #define RUDOLF_RULES_EVALUATOR_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "index/condition_index.h"
 #include "relation/relation.h"
 #include "rules/rule_set.h"
 #include "util/bitset.h"
@@ -28,7 +38,17 @@ struct EvalOptions {
   /// the `RUDOLF_THREADS` environment variable overrides it (see
   /// ResolveNumThreads).
   int num_threads = 1;
+  /// Condition-indexed evaluation (default on): rule captures are computed
+  /// as intersections of LRU-cached per-condition bitmaps backed by
+  /// per-attribute indexes (src/index/), bit-identical to the columnar
+  /// scan. The `RUDOLF_INDEX` environment variable (0/1) overrides it (see
+  /// ResolveUseIndex).
+  bool use_index = true;
 };
+
+/// The effective indexed-evaluation setting: `RUDOLF_INDEX=0|1` wins over
+/// the requested value.
+bool ResolveUseIndex(bool requested);
 
 /// Number of captured rows per label class.
 struct LabelCounts {
@@ -84,6 +104,10 @@ class RuleEvaluator {
   /// Convenience: counts of a rule's captures under visible labels.
   LabelCounts RuleCountsVisible(const Rule& rule) const;
 
+  /// The condition index behind the indexed evaluation path; null when
+  /// indexing is disabled (EvalOptions::use_index / RUDOLF_INDEX=0).
+  const ConditionIndex* condition_index() const { return index_.get(); }
+
  private:
   // Membership mask for "value's concept is contained in `concept`" within
   // `ontology`: mask[v] != 0 iff Contains(concept, v).
@@ -104,10 +128,19 @@ class RuleEvaluator {
   void EvalRuleBlock(const Rule& rule, const std::vector<size_t>& conditions,
                      size_t lo, size_t hi, Bitset* out) const;
 
+  // The indexed path: intersection of the conditions' cached bitmaps.
+  // Requires index_->ReadyForRule(rule).
+  Bitset EvalRuleIndexed(const Rule& rule,
+                         const std::vector<size_t>& conditions) const;
+
   const Relation& relation_;
   size_t num_rows_;
   int num_threads_;
   ThreadPool* pool_;  // null iff num_threads_ <= 1
+  // Condition index + bitmap cache of the indexed evaluation path; null
+  // when disabled. Attribute indexes inside are built lazily, only from the
+  // coordinating thread (mirroring mask_cache_'s EnsureMasks discipline).
+  mutable std::unique_ptr<ConditionIndex> index_;
   // Memoized concept masks keyed by (ontology pointer, concept id).
   mutable std::vector<std::pair<std::pair<const Ontology*, ConceptId>,
                                 std::vector<uint8_t>>>

@@ -75,6 +75,30 @@ TEST(IntervalDistance, EmptyTargetIsFree) {
   EXPECT_EQ(IntervalExtensionDistance({5, 3}, {0, 1}), 0);
 }
 
+TEST(IntervalDistance, SaturatesNearSentinels) {
+  // Finite bounds one step inside the sentinels: the raw extension sizes
+  // reach INT64_MAX on each side, so the sum must saturate at kPosInf
+  // rather than wrap.
+  EXPECT_EQ(IntervalExtensionDistance({kNegInf + 1, kPosInf - 1}, {0, 0}),
+            kPosInf);
+  // One-sided near-sentinel extensions stay finite and exact.
+  EXPECT_EQ(IntervalExtensionDistance({kNegInf + 2, 0}, {0, 0}), kPosInf - 1);
+  EXPECT_EQ(IntervalExtensionDistance({0, kPosInf - 1}, {0, 0}), kPosInf - 1);
+  // Sentinel-bounded (open) targets saturate on the open side even when the
+  // other side needs nothing.
+  EXPECT_EQ(IntervalExtensionDistance(Interval::AtMost(10), {0, 10}), kPosInf);
+  EXPECT_EQ(IntervalExtensionDistance(Interval::AtLeast(0), {0, 10}), kPosInf);
+}
+
+TEST(IntervalDistance, EmptyRuleIntervalSaturates) {
+  // Replacing an empty rule interval: finite targets cost their width,
+  // unbounded targets saturate.
+  EXPECT_EQ(IntervalExtensionDistance({3, 7}, {5, 4}), 4);
+  EXPECT_EQ(IntervalExtensionDistance({kNegInf + 1, kPosInf - 1}, {5, 4}),
+            kPosInf);
+  EXPECT_EQ(IntervalExtensionDistance(Interval::AtLeast(0), {5, 4}), kPosInf);
+}
+
 TEST(Condition, TrivialForNumericAndCategorical) {
   AttributeDef num = NumericDef();
   AttributeDef cat = TypeDef();

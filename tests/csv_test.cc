@@ -4,23 +4,25 @@
 
 #include <sstream>
 
+#include "util/random.h"
+
 namespace rudolf {
 namespace {
 
 TEST(CsvWriter, PlainFields) {
-  EXPECT_EQ(WriteCsv({{"a", "b", "c"}}), "a,b,c\n");
+  EXPECT_EQ(*WriteCsv({{"a", "b", "c"}}), "a,b,c\n");
 }
 
 TEST(CsvWriter, QuotesCommas) {
-  EXPECT_EQ(WriteCsv({{"Online, no CCV", "x"}}), "\"Online, no CCV\",x\n");
+  EXPECT_EQ(*WriteCsv({{"Online, no CCV", "x"}}), "\"Online, no CCV\",x\n");
 }
 
 TEST(CsvWriter, EscapesQuotes) {
-  EXPECT_EQ(WriteCsv({{"say \"hi\""}}), "\"say \"\"hi\"\"\"\n");
+  EXPECT_EQ(*WriteCsv({{"say \"hi\""}}), "\"say \"\"hi\"\"\"\n");
 }
 
 TEST(CsvWriter, QuotesNewlines) {
-  EXPECT_EQ(WriteCsv({{"two\nlines"}}), "\"two\nlines\"\n");
+  EXPECT_EQ(*WriteCsv({{"two\nlines"}}), "\"two\nlines\"\n");
 }
 
 TEST(CsvReader, PlainRecord) {
@@ -87,6 +89,41 @@ TEST(CsvReader, StrayQuoteFails) {
   EXPECT_FALSE(rows.ok());
 }
 
+TEST(CsvReader, TrailingCharsAfterClosingQuoteFail) {
+  auto rows = ParseCsv("\"abc\"def,x\n");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvReader, SeparatorAfterClosingQuoteOk) {
+  auto rows = ParseCsv("\"abc\",def\n\"tail\"");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"abc", "def"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"tail"}));
+}
+
+TEST(CsvReader, BareCrFails) {
+  // Classic-Mac CR-only line endings (and stray CRs mid-field) are
+  // rejected; only LF and CRLF terminate records.
+  EXPECT_FALSE(ParseCsv("a,b\rc,d\r").ok());
+  auto mid_field = ParseCsv("a\rb,c\n");
+  ASSERT_FALSE(mid_field.ok());
+  EXPECT_EQ(mid_field.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvReader, CrLfAfterQuotedField) {
+  auto rows = ParseCsv("\"a,b\"\r\nc\r\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a,b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c"}));
+}
+
+TEST(CsvReader, CrInsideQuotedFieldIsData) {
+  auto rows = ParseCsv("\"a\rb\",x\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "a\rb");
+}
+
 TEST(CsvReader, EmptyInput) {
   auto rows = ParseCsv("");
   ASSERT_TRUE(rows.ok());
@@ -109,9 +146,40 @@ TEST(Csv, RoundTripsArbitraryContent) {
       {"", "", ""},
       {"18:05", "Online, no CCV", "x,y\"z\n,"},
   };
-  auto parsed = ParseCsv(WriteCsv(original));
+  auto parsed = ParseCsv(*WriteCsv(original));
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(*parsed, original);
+}
+
+TEST(Csv, RoundTripsRandomDocuments) {
+  // Property test: any document built from the tricky alphabet (quotes,
+  // commas, CR, LF, plain chars) survives Write → Parse unchanged. CR only
+  // appears inside fields, where the writer quotes it; bare CR never
+  // reaches the output stream unquoted.
+  const char alphabet[] = {'a', 'b', ',', '"', '\n', '\r', ' '};
+  Rng rng(42);
+  for (int doc = 0; doc < 50; ++doc) {
+    std::vector<std::vector<std::string>> original;
+    size_t num_rows = static_cast<size_t>(rng.UniformInt(1, 6));
+    for (size_t r = 0; r < num_rows; ++r) {
+      std::vector<std::string> row;
+      size_t num_fields = static_cast<size_t>(rng.UniformInt(1, 5));
+      for (size_t f = 0; f < num_fields; ++f) {
+        std::string field;
+        size_t len = static_cast<size_t>(rng.UniformInt(0, 8));
+        for (size_t i = 0; i < len; ++i) {
+          field += alphabet[rng.UniformInt(0, sizeof(alphabet) - 1)];
+        }
+        row.push_back(std::move(field));
+      }
+      original.push_back(std::move(row));
+    }
+    auto written = WriteCsv(original);
+    ASSERT_TRUE(written.ok());
+    auto parsed = ParseCsv(*written);
+    ASSERT_TRUE(parsed.ok()) << "doc " << doc << ": " << parsed.status().ToString();
+    EXPECT_EQ(*parsed, original) << "doc " << doc;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,236 @@
+// The condition-index subsystem: attribute-index extraction must be
+// bit-identical to a naive scan for every interval / concept (including
+// sentinel-bounded, point, empty and chunk-straddling cases), the LRU cache
+// must evict and count correctly, and the facade must honour the
+// invalidation contract.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "index/attribute_index.h"
+#include "index/condition_cache.h"
+#include "index/condition_index.h"
+#include "relation/builder.h"
+#include "rules/evaluator.h"
+#include "rules/parser.h"
+#include "util/random.h"
+#include "workload/generator.h"
+#include "workload/paper_example.h"
+#include "workload/scenarios.h"
+
+namespace rudolf {
+namespace {
+
+// Ground truth for NumericAttributeIndex::Extract.
+Bitset ScanInterval(const std::vector<CellValue>& column, size_t prefix,
+                    const Interval& iv) {
+  Bitset out(prefix);
+  for (size_t r = 0; r < prefix; ++r) {
+    if (iv.Contains(column[r])) out.Set(r);
+  }
+  return out;
+}
+
+TEST(NumericAttributeIndex, MatchesScanOnSmallColumn) {
+  std::vector<CellValue> column = {5, 1, 9, 5, -3, 7, 5, 0};
+  NumericAttributeIndex index(column, column.size());
+  for (const Interval& iv :
+       {Interval{0, 6}, Interval{5, 5}, Interval{-10, -4}, Interval{9, 3},
+        Interval::All(), Interval::AtLeast(6), Interval::AtMost(0)}) {
+    EXPECT_EQ(index.Extract(iv), ScanInterval(column, column.size(), iv))
+        << "[" << iv.lo << "," << iv.hi << "]";
+  }
+}
+
+TEST(NumericAttributeIndex, MatchesScanAtDomainExtremes) {
+  std::vector<CellValue> column = {kNegInf, kNegInf + 1, 0, kPosInf - 1, kPosInf};
+  NumericAttributeIndex index(column, column.size());
+  for (const Interval& iv :
+       {Interval::All(), Interval{kNegInf, kNegInf}, Interval{kPosInf, kPosInf},
+        Interval{kNegInf, kNegInf + 1}, Interval{kPosInf - 1, kPosInf},
+        Interval{kNegInf + 1, kPosInf - 1}}) {
+    EXPECT_EQ(index.Extract(iv), ScanInterval(column, column.size(), iv))
+        << "[" << iv.lo << "," << iv.hi << "]";
+  }
+}
+
+TEST(NumericAttributeIndex, MatchesScanAcrossChunkBoundaries) {
+  // Large enough for several cumulative chunks (chunk size is >= 1024), with
+  // heavy duplication so runs of equal values straddle chunk boundaries.
+  Rng rng(7);
+  std::vector<CellValue> column;
+  for (int i = 0; i < 20000; ++i) column.push_back(rng.UniformInt(0, 300));
+  NumericAttributeIndex index(column, column.size());
+  for (int i = 0; i < 40; ++i) {
+    int64_t a = rng.UniformInt(-10, 310);
+    int64_t b = rng.UniformInt(-10, 310);
+    Interval iv{std::min(a, b), std::max(a, b)};
+    ASSERT_EQ(index.Extract(iv), ScanInterval(column, column.size(), iv))
+        << "[" << iv.lo << "," << iv.hi << "]";
+  }
+  // Point and empty intervals through the chunked path too.
+  EXPECT_EQ(index.Extract(Interval::Point(150)),
+            ScanInterval(column, column.size(), Interval::Point(150)));
+  EXPECT_EQ(index.Extract(Interval{200, 100}).Count(), 0u);
+}
+
+TEST(NumericAttributeIndex, RespectsPrefix) {
+  std::vector<CellValue> column = {1, 2, 3, 4, 5, 6};
+  NumericAttributeIndex index(column, 4);
+  Bitset got = index.Extract(Interval{2, 6});
+  EXPECT_EQ(got.size(), 4u);
+  EXPECT_EQ(got.ToIndices(), (std::vector<size_t>{1, 2, 3}));
+}
+
+TEST(CategoricalAttributeIndex, MatchesConceptMaskScan) {
+  PaperExample ex = MakePaperExample();
+  const Schema& schema = *ex.schema;
+  for (size_t attr = 0; attr < schema.arity(); ++attr) {
+    const AttributeDef& def = schema.attribute(attr);
+    if (def.kind != AttrKind::kCategorical) continue;
+    const std::vector<CellValue>& column = ex.relation->Column(attr);
+    size_t prefix = ex.relation->NumRows();
+    CategoricalAttributeIndex index(column, prefix, def.ontology.get());
+    for (ConceptId c = 0; c < def.ontology->size(); ++c) {
+      Bitset expected(prefix);
+      for (size_t r = 0; r < prefix; ++r) {
+        if (def.ontology->Contains(c, static_cast<ConceptId>(column[r]))) {
+          expected.Set(r);
+        }
+      }
+      EXPECT_EQ(index.Extract(c), expected)
+          << def.name << " <= " << def.ontology->NameOf(c);
+    }
+  }
+}
+
+TEST(ConditionCache, HitsMissesAndLruEviction) {
+  ConditionCache cache(2);
+  auto key = [](int64_t lo) {
+    return ConditionKey::For(0, Condition::MakeNumeric({lo, lo + 10}));
+  };
+  auto bitmap = [] { return std::make_shared<const Bitset>(8); };
+
+  EXPECT_EQ(cache.Get(key(1)), nullptr);  // miss
+  cache.Put(key(1), bitmap());
+  cache.Put(key(2), bitmap());
+  EXPECT_NE(cache.Get(key(1)), nullptr);  // hit; 1 is now most recent
+  cache.Put(key(3), bitmap());            // evicts 2, the LRU entry
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Get(key(1)), nullptr);
+  EXPECT_NE(cache.Get(key(3)), nullptr);
+  EXPECT_EQ(cache.Get(key(2)), nullptr);
+
+  ConditionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(ConditionCache, KeysDistinguishAttributeKindAndBounds) {
+  Condition iv = Condition::MakeNumeric({3, 7});
+  EXPECT_NE(ConditionKeyHash{}(ConditionKey::For(0, iv)),
+            ConditionKeyHash{}(ConditionKey::For(1, iv)));
+  EXPECT_FALSE(ConditionKey::For(0, iv) ==
+               ConditionKey::For(0, Condition::MakeNumeric({3, 8})));
+  EXPECT_FALSE(ConditionKey::For(0, iv) ==
+               ConditionKey::For(0, Condition::MakeCategorical(3)));
+}
+
+TEST(ConditionIndex, BitmapsMatchRuleSemantics) {
+  PaperExample ex = MakePaperExample();
+  ConditionIndex index(*ex.relation);
+  Rule rule =
+      ParseRule(*ex.schema, "amount >= 100 and type <= 'Offline'").ValueOrDie();
+  EXPECT_FALSE(index.ReadyForRule(rule));
+  index.EnsureForRule(rule);
+  ASSERT_TRUE(index.ReadyForRule(rule));
+
+  Bitset captured(index.prefix_rows());
+  captured.Fill(true);
+  const Schema& schema = *ex.schema;
+  for (size_t i = 0; i < rule.arity(); ++i) {
+    if (rule.condition(i).IsTrivial(schema.attribute(i))) continue;
+    captured &= *index.ConditionBitmap(i, rule.condition(i));
+  }
+  for (size_t row = 0; row < ex.relation->NumRows(); ++row) {
+    EXPECT_EQ(captured.Test(row), rule.MatchesRow(*ex.relation, row)) << row;
+  }
+}
+
+TEST(ConditionIndex, CacheHitsOnRepeatedConditions) {
+  PaperExample ex = MakePaperExample();
+  ConditionIndex index(*ex.relation);
+  Rule rule = ParseRule(*ex.schema, "amount >= 100").ValueOrDie();
+  index.EnsureForRule(rule);
+  index.ConditionBitmap(1, rule.condition(1));
+  index.ConditionBitmap(1, rule.condition(1));
+  ConditionCacheStats stats = index.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(ConditionIndex, InvalidateIfGrownRebindsPrefix) {
+  PaperExample ex = MakePaperExample();
+  Relation& relation = *ex.relation;
+  ConditionIndex index(relation);  // snapshot: all current rows
+  Rule rule = ParseRule(*ex.schema, "amount >= 100").ValueOrDie();
+  index.EnsureForRule(rule);
+  size_t before = index.ConditionBitmap(1, rule.condition(1))->Count();
+  EXPECT_FALSE(index.InvalidateIfGrown());  // nothing changed
+
+  // Append a matching row; the index is stale until invalidated.
+  Tuple row = relation.GetRow(0);
+  row[1] = 500;  // amount
+  ASSERT_TRUE(relation.AppendRow(row).ok());
+  EXPECT_TRUE(index.InvalidateIfGrown());
+  EXPECT_EQ(index.prefix_rows(), relation.NumRows());
+  EXPECT_FALSE(index.ReadyForRule(rule));  // indexes dropped
+  index.EnsureForRule(rule);
+  EXPECT_EQ(index.ConditionBitmap(1, rule.condition(1))->Count(), before + 1);
+}
+
+TEST(ConditionIndex, MatchesEvaluatorOnGeneratedData) {
+  // Randomized rules over a generated dataset: the facade's intersection
+  // semantics must agree with the scan evaluator everywhere.
+  Scenario s = TinyScenario();
+  s.options.num_transactions = 3000;
+  Dataset ds = GenerateDataset(s.options);
+  RuleEvaluator scan(*ds.relation, static_cast<size_t>(-1),
+                     EvalOptions{1, /*use_index=*/false});
+  ConditionIndex index(*ds.relation);
+  const Schema& schema = *ds.cc.schema;
+  Rng rng(99);
+  for (int i = 0; i < 25; ++i) {
+    Rule rule = Rule::Trivial(schema);
+    for (size_t a = 0; a < schema.arity(); ++a) {
+      if (rng.Bernoulli(0.5)) continue;
+      const AttributeDef& def = schema.attribute(a);
+      if (def.kind == AttrKind::kNumeric) {
+        int64_t lo = rng.UniformInt(0, 1200);
+        rule.set_condition(a, Condition::MakeNumeric({lo, lo + rng.UniformInt(0, 400)}));
+      } else {
+        rule.set_condition(
+            a, Condition::MakeCategorical(static_cast<ConceptId>(rng.UniformInt(
+                   0, static_cast<int64_t>(def.ontology->size()) - 1))));
+      }
+    }
+    index.EnsureForRule(rule);
+    Bitset expected = scan.EvalRule(rule);
+    Bitset got(index.prefix_rows());
+    got.Fill(true);
+    for (size_t a = 0; a < rule.arity(); ++a) {
+      if (rule.condition(a).IsTrivial(schema.attribute(a))) continue;
+      got &= *index.ConditionBitmap(a, rule.condition(a));
+    }
+    ASSERT_EQ(got, expected) << rule.ToString(schema);
+  }
+}
+
+}  // namespace
+}  // namespace rudolf

@@ -100,6 +100,46 @@ TEST_P(ParallelEquivalence, EvalRuleMatchesSerialAcrossThreadCounts) {
   }
 }
 
+TEST_P(ParallelEquivalence, IndexedEvalMatchesScanAcrossThreadCounts) {
+  // The condition-indexed path must be bit-identical to the pure columnar
+  // scan (use_index = false) at every thread count — including repeated
+  // evaluations, where the second pass is served from the bitmap cache.
+  const Dataset& ds = BlockDataset();
+  Rng rng(GetParam() ^ 0x1DE);
+  RuleEvaluator scan(*ds.relation, static_cast<size_t>(-1),
+                     EvalOptions{1, /*use_index=*/false});
+  for (int i = 0; i < 6; ++i) {
+    Rule rule = RandomRule(ds, &rng);
+    Bitset expected = scan.EvalRule(rule);
+    for (int threads : {1, 2, 4, 8}) {
+      RuleEvaluator indexed(*ds.relation, static_cast<size_t>(-1),
+                            EvalOptions{threads, /*use_index=*/true});
+      ASSERT_NE(indexed.condition_index(), nullptr);
+      EXPECT_EQ(indexed.EvalRule(rule), expected)
+          << threads << " threads, rule " << rule.ToString(*ds.cc.schema);
+      EXPECT_EQ(indexed.EvalRule(rule), expected)
+          << threads << " threads (cached), rule " << rule.ToString(*ds.cc.schema);
+    }
+  }
+}
+
+TEST_P(ParallelEquivalence, IndexedEvalRulesMatchesScan) {
+  const Dataset& ds = BlockDataset();
+  Rng rng(GetParam() ^ 0xF00D);
+  RuleSet rules = RandomRuleSet(ds, &rng, 7);
+  std::vector<RuleId> ids = rules.LiveIds();
+  RuleEvaluator scan(*ds.relation, static_cast<size_t>(-1),
+                     EvalOptions{1, /*use_index=*/false});
+  std::vector<Bitset> expected = scan.EvalRules(rules, ids);
+  for (int threads : {1, 4}) {
+    RuleEvaluator indexed(*ds.relation, static_cast<size_t>(-1),
+                          EvalOptions{threads, /*use_index=*/true});
+    EXPECT_EQ(indexed.EvalRules(rules, ids), expected) << threads << " threads";
+    EXPECT_EQ(indexed.EvalRuleSet(rules), scan.EvalRuleSet(rules))
+        << threads << " threads";
+  }
+}
+
 TEST_P(ParallelEquivalence, EvalRuleMatchesOnUnalignedPrefix) {
   const Dataset& ds = BlockDataset();
   Rng rng(GetParam() ^ 0xA117);

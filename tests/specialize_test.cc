@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "expert/scripted_expert.h"
+#include "relation/builder.h"
 #include "rules/parser.h"
 #include "workload/paper_example.h"
 
@@ -208,6 +209,73 @@ TEST_F(SpecializeTest, MaxLegitTuplesCapsWork) {
   ScriptedExpert expert;
   SpecializeStats stats = RunEngine(&rules, &expert, options);
   EXPECT_EQ(stats.tuples, 1u);
+  // The two capped-out tuples are reported, not silently dropped.
+  EXPECT_EQ(stats.truncated_tuples, 2u);
+}
+
+TEST_F(SpecializeTest, UncappedRunReportsNoTruncation) {
+  RuleSet rules;
+  rules.AddRule(Rule::Trivial(*ex_.schema));
+  ScriptedExpert expert;
+  SpecializeStats stats = RunEngine(&rules, &expert);
+  EXPECT_EQ(stats.truncated_tuples, 0u);
+}
+
+// Numeric splits at the edges of the int64 domain: a split side whose bound
+// would land on the kNegInf/kPosInf sentinel could only capture
+// sentinel-valued cells, so it must be skipped — and computing it must not
+// overflow.
+class SentinelSplitTest : public ::testing::Test {
+ protected:
+  SentinelSplitTest() : cc_(MakeCreditCardSchema()), relation_(cc_.schema) {}
+
+  // One-row relation whose amount is `amount`; returns the amount-attribute
+  // split proposal for the rule "amount in iv".
+  SplitProposal AmountSplit(int64_t amount, const Interval& iv) {
+    Tuple row(cc_.schema->arity(), 0);
+    row[cc_.layout.amount] = amount;
+    EXPECT_TRUE(relation_.AppendRow(row).ok());
+    RuleSet rules;
+    Rule rule = Rule::Trivial(*cc_.schema);
+    rule.set_condition(cc_.layout.amount, Condition::MakeNumeric(iv));
+    RuleId id = rules.AddRule(rule);
+    SpecializationEngine engine(relation_, SpecializeOptions{});
+    CaptureTracker tracker(relation_, rules);
+    auto proposals = engine.RankSplits(rules, tracker, id, 0);
+    for (auto& p : proposals) {
+      if (p.attribute == cc_.layout.amount) return p;
+    }
+    ADD_FAILURE() << "no amount proposal";
+    return SplitProposal{};
+  }
+
+  CreditCardSchema cc_;
+  Relation relation_;
+};
+
+TEST_F(SentinelSplitTest, SplitJustAboveNegInfSkipsSentinelSide) {
+  SplitProposal p = AmountSplit(kNegInf + 1, Interval::AtMost(100));
+  // Left side [kNegInf, kNegInf] would be sentinel-only: skipped.
+  ASSERT_EQ(p.replacements.size(), 1u);
+  EXPECT_EQ(p.replacements[0].condition(cc_.layout.amount).interval(),
+            (Interval{kNegInf + 2, 100}));
+}
+
+TEST_F(SentinelSplitTest, SplitJustBelowPosInfSkipsSentinelSide) {
+  SplitProposal p = AmountSplit(kPosInf - 1, Interval::AtLeast(0));
+  // Right side [kPosInf, kPosInf] would be sentinel-only: skipped.
+  ASSERT_EQ(p.replacements.size(), 1u);
+  EXPECT_EQ(p.replacements[0].condition(cc_.layout.amount).interval(),
+            (Interval{0, kPosInf - 2}));
+}
+
+TEST_F(SentinelSplitTest, InteriorSplitStillProducesBothSides) {
+  SplitProposal p = AmountSplit(50, Interval{0, 100});
+  ASSERT_EQ(p.replacements.size(), 2u);
+  EXPECT_EQ(p.replacements[0].condition(cc_.layout.amount).interval(),
+            (Interval{0, 49}));
+  EXPECT_EQ(p.replacements[1].condition(cc_.layout.amount).interval(),
+            (Interval{51, 100}));
 }
 
 TEST_F(SpecializeTest, MultipleCapturingRulesAllHandled) {
