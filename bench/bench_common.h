@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "experiments/runner.h"
@@ -38,6 +39,51 @@ inline void Banner(const char* figure, const char* claim) {
 inline void ShapeCheck(const char* what, bool holds) {
   std::printf("[shape-check] %s: %s\n", what, holds ? "PASS" : "DEVIATES");
 }
+
+/// \brief Machine-readable sidecar for one bench run.
+///
+/// Collects named numeric metrics (wall times, counts, ratios) and writes
+/// them as `BENCH_<name>.json` so scripted smoke runs and perf-trajectory
+/// tooling can diff runs without scraping the human tables. The output
+/// directory is `$RUDOLF_BENCH_JSON_DIR` (falling back to the CWD). Keys
+/// and the bench name are code-controlled identifiers — no JSON escaping
+/// is performed.
+class BenchJson {
+ public:
+  BenchJson(std::string name, size_t rows) : name_(std::move(name)), rows_(rows) {}
+
+  void Metric(const std::string& key, double value) {
+    entries_.emplace_back(key, value);
+  }
+
+  /// Writes the sidecar; on I/O failure warns on stderr and returns false
+  /// (a bench never fails because of its sidecar).
+  bool Write() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("RUDOLF_BENCH_JSON_DIR")) dir = env;
+    std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": %zu,\n  \"metrics\": {",
+                 name_.c_str(), rows_);
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %.9g", i > 0 ? "," : "",
+                   entries_[i].first.c_str(), entries_[i].second);
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("[bench-json] wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  size_t rows_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
 
 /// Runs the given methods on one dataset with shared options.
 inline std::vector<RunResult> RunMethods(Dataset* dataset,

@@ -150,6 +150,7 @@ int main() {
     }
   }
 
+  bench::BenchJson json("incremental_eval", rows);
   std::printf("%-14s  %9s  %9s\n", "config", "sweep (s)", "vs scan@1T");
   double scan1 = 0.0, indexed1 = 0.0;
   for (size_t i = 0; i < kNumConfigs; ++i) {
@@ -157,6 +158,7 @@ int main() {
     if (i == 0) scan1 = s;
     if (i == 1) indexed1 = s;
     std::printf("%-14s  %9.3f  %8.2fx\n", kConfigs[i].name, s, scan1 / s);
+    json.Metric("sweep_s_" + std::to_string(i), s);
   }
 
   std::printf("\n");
@@ -164,5 +166,9 @@ int main() {
                     true);
   bench::ShapeCheck("indexed eval >= 5x faster than scan on split ranking",
                     indexed1 > 0.0 && scan1 / indexed1 >= 5.0);
+  json.Metric("scan_1t_s", scan1);
+  json.Metric("indexed_1t_s", indexed1);
+  json.Metric("indexed_speedup", indexed1 > 0.0 ? scan1 / indexed1 : 0.0);
+  json.Write();
   return 0;
 }

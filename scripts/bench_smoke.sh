@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Scripted perf smoke run: executes the perf-critical benches at a reduced
+# stream size, collects their BENCH_*.json sidecars, and appends one line
+# per bench to bench/PERF.jsonl — the machine-readable perf trajectory.
+#
+#   scripts/bench_smoke.sh [build-dir] [rows]
+#
+# Defaults: build-dir=build, rows=20000 (large enough that every bench has
+# a non-empty workload). Each bench's in-bench bit-identity assertions run
+# as part of the smoke: a divergence makes this script fail.
+set -eu
+
+BUILD_DIR="${1:-build}"
+ROWS="${2:-20000}"
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+for bench in streaming_rounds incremental_eval; do
+  bin="$REPO_DIR/$BUILD_DIR/bench/$bench"
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+  echo "== $bench (RUDOLF_BENCH_N=$ROWS) =="
+  RUDOLF_BENCH_N="$ROWS" RUDOLF_BENCH_JSON_DIR="$OUT_DIR" "$bin"
+  echo
+done
+
+# One JSON object per line, stamped with the run time, appended to the
+# trajectory so successive runs can be diffed.
+STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+for f in "$OUT_DIR"/BENCH_*.json; do
+  tr -d '\n' < "$f" | sed "s/^{/{\"at\": \"$STAMP\", /;s/  */ /g" >> "$REPO_DIR/bench/PERF.jsonl"
+  printf '\n' >> "$REPO_DIR/bench/PERF.jsonl"
+done
+echo "appended $(ls "$OUT_DIR"/BENCH_*.json | wc -l) entries to bench/PERF.jsonl"

@@ -15,9 +15,73 @@ CaptureTracker::CaptureTracker(const Relation& relation, const RuleSet& rules,
   // stays serial (it is a cheap pass and rules would contend on the array).
   std::vector<Bitset> bitmaps = evaluator_.EvalRules(rules, ids);
   for (size_t i = 0; i < ids.size(); ++i) {
-    bitmaps[i].ForEach([this](size_t row) { ++cover_count_[row]; });
+    bitmaps[i].ForEach([this](size_t row) { RaiseCover(row); });
     captures_.emplace(ids[i], std::move(bitmaps[i]));
   }
+}
+
+void CaptureTracker::AdjustTotals(size_t row, int direction) {
+  size_t delta = static_cast<size_t>(direction);  // +1 or (wrapping) -1
+  switch (relation_.VisibleLabel(row)) {
+    case Label::kFraud:
+      total_counts_.fraud += delta;
+      break;
+    case Label::kLegitimate:
+      total_counts_.legitimate += delta;
+      break;
+    case Label::kUnlabeled:
+      total_counts_.unlabeled += delta;
+      break;
+  }
+}
+
+void CaptureTracker::RaiseCover(size_t row) {
+  if (cover_count_[row]++ == 0) AdjustTotals(row, +1);
+}
+
+void CaptureTracker::LowerCover(size_t row) {
+  if (--cover_count_[row] == 0) AdjustTotals(row, -1);
+}
+
+void CaptureTracker::ExtendPrefix(size_t new_prefix, const RuleSet& rules) {
+  size_t old_prefix = prefix_;
+  evaluator_.ExtendPrefix(new_prefix);
+  prefix_ = evaluator_.num_rows();
+  if (prefix_ == old_prefix) return;
+  cover_count_.resize(prefix_, 0);
+  std::vector<RuleId> ids = rules.LiveIds();
+  std::vector<Bitset*> outs;
+  outs.reserve(ids.size());
+  for (RuleId id : ids) {
+    auto it = captures_.find(id);
+    assert(it != captures_.end());
+    it->second.Resize(prefix_);
+    outs.push_back(&it->second);
+  }
+  // Each rule scans only the new row range, in parallel across rules; the
+  // cover/label-count accumulation walks just the new bits, serially.
+  evaluator_.EvalRulesRange(rules, ids, old_prefix, prefix_, outs);
+  for (Bitset* capture : outs) {
+    capture->ForEachInRange(old_prefix, prefix_,
+                            [this](size_t row) { RaiseCover(row); });
+  }
+}
+
+void CaptureTracker::OnVisibleLabelChanged(size_t row, Label old_label,
+                                           Label new_label) {
+  if (row >= prefix_ || cover_count_[row] == 0 || old_label == new_label) return;
+  auto bucket = [this](Label l) -> size_t& {
+    switch (l) {
+      case Label::kFraud:
+        return total_counts_.fraud;
+      case Label::kLegitimate:
+        return total_counts_.legitimate;
+      default:
+        return total_counts_.unlabeled;
+    }
+  };
+  --bucket(old_label);
+  ++bucket(new_label);
 }
 
 const Bitset& CaptureTracker::RuleCapture(RuleId id) const {
@@ -32,10 +96,6 @@ Bitset CaptureTracker::UnionCapture() const {
     if (cover_count_[r] > 0) out.Set(r);
   }
   return out;
-}
-
-LabelCounts CaptureTracker::TotalCounts() const {
-  return evaluator_.CountsVisible(UnionCapture());
 }
 
 Bitset CaptureTracker::Eval(const Rule& rule) const {
@@ -101,21 +161,21 @@ BenefitDelta CaptureTracker::DeltaForReplaceMany(
 void CaptureTracker::ApplyReplace(RuleId id, Bitset new_capture) {
   auto it = captures_.find(id);
   assert(it != captures_.end());
-  it->second.ForEach([this](size_t row) { --cover_count_[row]; });
-  new_capture.ForEach([this](size_t row) { ++cover_count_[row]; });
+  it->second.ForEach([this](size_t row) { LowerCover(row); });
+  new_capture.ForEach([this](size_t row) { RaiseCover(row); });
   it->second = std::move(new_capture);
 }
 
 void CaptureTracker::ApplyAdd(RuleId id, Bitset capture) {
   assert(captures_.find(id) == captures_.end());
-  capture.ForEach([this](size_t row) { ++cover_count_[row]; });
+  capture.ForEach([this](size_t row) { RaiseCover(row); });
   captures_.emplace(id, std::move(capture));
 }
 
 void CaptureTracker::ApplyRemove(RuleId id) {
   auto it = captures_.find(id);
   assert(it != captures_.end());
-  it->second.ForEach([this](size_t row) { --cover_count_[row]; });
+  it->second.ForEach([this](size_t row) { LowerCover(row); });
   captures_.erase(it);
 }
 

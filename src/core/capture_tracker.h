@@ -33,14 +33,34 @@ class CaptureTracker {
   size_t prefix_rows() const { return prefix_; }
   const RuleEvaluator& evaluator() const { return evaluator_; }
 
+  /// Extends the tracker over rows [prefix_rows(), new_prefix) after the
+  /// visible stream advanced (clamped to the relation's current rows; must
+  /// not shrink): each live rule of `rules` is evaluated only over the new
+  /// row range (parallel across rules when the tracker was built with
+  /// num_threads > 1) and its bitmap, the cover counts, and the maintained
+  /// label counts are extended in place; the evaluator's condition index
+  /// absorbs the new rows too. O(batch × rules), bit-identical to building
+  /// a fresh tracker over the new prefix. `rules` must be the same live set
+  /// the tracker is maintaining (every Apply* mirrored), and the relation
+  /// must have grown by pure appends since the last build/extension.
+  void ExtendPrefix(size_t new_prefix, const RuleSet& rules);
+
+  /// Incremental label-count fixup: must be called (with the row's previous
+  /// and new visible label) whenever a row *inside* the prefix is relabeled
+  /// while the tracker is live, or TotalCounts() goes stale. Label changes
+  /// beyond the prefix need no notification — ExtendPrefix reads them when
+  /// the rows come into view.
+  void OnVisibleLabelChanged(size_t row, Label old_label, Label new_label);
+
   /// Capture bitmap of one live rule.
   const Bitset& RuleCapture(RuleId id) const;
 
   /// Rows captured by the whole rule set (cover count > 0).
   Bitset UnionCapture() const;
 
-  /// Visible-label counts of the current Φ(I).
-  LabelCounts TotalCounts() const;
+  /// Visible-label counts of the current Φ(I). Maintained incrementally by
+  /// the Apply* mutations and ExtendPrefix — O(1), no union scan.
+  LabelCounts TotalCounts() const { return total_counts_; }
 
   /// True if the row is captured by at least one rule.
   bool IsCovered(size_t row) const { return cover_count_[row] > 0; }
@@ -82,11 +102,20 @@ class CaptureTracker {
   BenefitDelta DeltaBetween(const Bitset& old_capture,
                             const Bitset& new_capture) const;
 
+  // Adjusts total_counts_ for a row entering (+1) or leaving (-1) the union.
+  void AdjustTotals(size_t row, int direction);
+
+  // Raises (or lowers) one row's cover count, keeping total_counts_ in sync
+  // across the 0 <-> 1 transitions.
+  void RaiseCover(size_t row);
+  void LowerCover(size_t row);
+
   const Relation& relation_;
   size_t prefix_;
   RuleEvaluator evaluator_;
   std::unordered_map<RuleId, Bitset> captures_;
   std::vector<uint32_t> cover_count_;
+  LabelCounts total_counts_;
 };
 
 }  // namespace rudolf

@@ -1,12 +1,30 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "rules/simplify.h"
 
 namespace rudolf {
 
 namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// True if the two rule sets have the same live ids bound to equal rules —
+// the persistence check: a held tracker is only reusable against a rule set
+// indistinguishable from the snapshot it was maintaining.
+bool SameRuleSet(const RuleSet& a, const RuleSet& b) {
+  std::vector<RuleId> ids_a = a.LiveIds();
+  if (ids_a != b.LiveIds()) return false;
+  for (RuleId id : ids_a) {
+    if (!(a.Get(id) == b.Get(id))) return false;
+  }
+  return true;
+}
 
 void Accumulate(GeneralizeStats* into, const GeneralizeStats& from) {
   into->clusters += from.clusters;
@@ -70,32 +88,81 @@ SessionStats RefinementSession::Refine(size_t prefix_rows, RuleSet* rules,
   size_t edits_before = log->size();
 
   for (int round = 0; round < options_.max_rounds; ++round) {
-    CaptureTracker tracker(relation_, *rules, prefix, options_.eval);
+    CaptureTracker* tracker = AcquireTracker(prefix, *rules, &stats);
     size_t edits_at_round_start = log->size();
 
-    GeneralizeStats g = generalizer_.Run(rules, &tracker, expert, log);
+    GeneralizeStats g = generalizer_.Run(rules, tracker, expert, log);
     Accumulate(&stats.generalize, g);
-    SpecializeStats s = specializer_.Run(rules, &tracker, expert, log);
+    SpecializeStats s = specializer_.Run(rules, tracker, expert, log);
     Accumulate(&stats.specialize, s);
+
+    // The engines mirrored every rule edit into the tracker, so the two are
+    // in sync again — refresh the snapshot the next acquire compares with.
+    SnapshotRules(*rules);
 
     ++stats.rounds;
     if (log->size() == edits_at_round_start) break;  // fixpoint
   }
   if (options_.retire_obsolete) {
-    CaptureTracker tracker(relation_, *rules, prefix, options_.eval);
-    RetireStats retired = RetireObsoleteRules(relation_, rules, &tracker, expert,
+    CaptureTracker* tracker = AcquireTracker(prefix, *rules, &stats);
+    RetireStats retired = RetireObsoleteRules(relation_, rules, tracker, expert,
                                               log, options_.drift);
     // Folded into the generalize bucket; stats.expert_seconds sums both
     // buckets below.
     stats.generalize.expert_seconds += retired.expert_seconds;
+    SnapshotRules(*rules);
   }
   if (options_.simplify_after) {
+    // SimplifyRuleSet edits `rules` without the tracker. Deliberately no
+    // snapshot refresh: if it changed anything, the next AcquireTracker sees
+    // the mismatch and rebuilds; if it was a no-op, the snapshot still
+    // matches and the tracker stays live.
     SimplifyRuleSet(relation_.schema(), rules, log);
+  }
+  if (tracker_ != nullptr && tracker_->evaluator().condition_index() != nullptr) {
+    stats.cache = tracker_->evaluator().condition_index()->cache_stats();
   }
   stats.expert_seconds =
       stats.generalize.expert_seconds + stats.specialize.expert_seconds;
   stats.edits = log->size() - edits_before;
   return stats;
+}
+
+void RefinementSession::NotifyVisibleLabelChanged(size_t row, Label old_label,
+                                                  Label new_label) {
+  if (tracker_ != nullptr) {
+    tracker_->OnVisibleLabelChanged(row, old_label, new_label);
+  }
+}
+
+CaptureTracker* RefinementSession::AcquireTracker(size_t prefix,
+                                                  const RuleSet& rules,
+                                                  SessionStats* stats) {
+  bool reusable = options_.persistent_tracker && tracker_ != nullptr &&
+                  tracker_rules_ != nullptr &&
+                  tracker_->prefix_rows() <= prefix &&
+                  SameRuleSet(*tracker_rules_, rules);
+  if (reusable) {
+    if (tracker_->prefix_rows() < prefix) {
+      auto start = std::chrono::steady_clock::now();
+      tracker_->ExtendPrefix(prefix, rules);
+      stats->extend_seconds += SecondsSince(start);
+      ++stats->tracker_extends;
+    }
+    return tracker_.get();
+  }
+  auto start = std::chrono::steady_clock::now();
+  tracker_ = std::make_unique<CaptureTracker>(relation_, rules, prefix,
+                                              options_.eval);
+  stats->rebuild_seconds += SecondsSince(start);
+  ++stats->tracker_rebuilds;
+  SnapshotRules(rules);
+  return tracker_.get();
+}
+
+void RefinementSession::SnapshotRules(const RuleSet& rules) {
+  if (!options_.persistent_tracker) return;
+  tracker_rules_ = std::make_unique<RuleSet>(rules);
 }
 
 }  // namespace rudolf

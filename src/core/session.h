@@ -8,9 +8,11 @@
 
 #include <memory>
 
+#include "core/capture_tracker.h"
 #include "core/drift.h"
 #include "core/generalize.h"
 #include "core/specialize.h"
+#include "index/condition_cache.h"
 
 namespace rudolf {
 
@@ -37,6 +39,15 @@ struct SessionOptions {
   /// off by default.
   bool retire_obsolete = false;
   DriftOptions drift;
+  /// Keep one CaptureTracker (and condition index) alive across rounds and
+  /// Refine() calls, extending it as the visible prefix advances instead of
+  /// rebuilding the world per round — per-round work becomes O(new rows),
+  /// not O(prefix). The refinement outcome is bit-identical to rebuild mode
+  /// (see DESIGN.md "Incremental append path"); the tracker falls back to a
+  /// rebuild whenever the rule set was edited behind its back (simplify,
+  /// retirement pruning, caller edits between Refine calls) or the prefix
+  /// shrank.
+  bool persistent_tracker = true;
 };
 
 /// Aggregate outcome of a session.
@@ -46,6 +57,15 @@ struct SessionStats {
   SpecializeStats specialize;  ///< summed over rounds
   double expert_seconds = 0.0;
   size_t edits = 0;  ///< edits appended to the log by this session
+  // Incremental-tracker accounting (persistent_tracker mode; rebuild mode
+  // reports every round as a rebuild with zero extends).
+  size_t tracker_rebuilds = 0;   ///< trackers built from scratch this call
+  size_t tracker_extends = 0;    ///< ExtendPrefix delta updates this call
+  double rebuild_seconds = 0.0;  ///< wall time building trackers
+  double extend_seconds = 0.0;   ///< wall time inside ExtendPrefix
+  /// Condition-cache counters of the session's evaluator at return time
+  /// (monotonic since that tracker's build; zeros when indexing is off).
+  ConditionCacheStats cache;
 };
 
 /// \brief One refinement session over the visible prefix of a relation.
@@ -75,12 +95,38 @@ class RefinementSession {
   /// Refine() over the constructor's prefix.
   SessionStats Refine(RuleSet* rules, Expert* expert, EditLog* log);
 
+  /// Persistent-mode label fixup: a caller that changes the visible label
+  /// of a row *inside* the last refined prefix between Refine() calls must
+  /// forward the change here so the held tracker's label counts stay
+  /// current. Rows at or beyond the held prefix need no notification (the
+  /// next extension reads them), and the call is a no-op when no tracker is
+  /// held (rebuild mode, or before the first Refine).
+  void NotifyVisibleLabelChanged(size_t row, Label old_label, Label new_label);
+
  private:
+  // Returns a tracker over `prefix` rows that is consistent with `rules`:
+  // in persistent mode the held tracker is reused (extended over the new
+  // rows if the prefix grew) when `rules` still matches the snapshot it was
+  // maintaining; otherwise — rule set edited behind its back, prefix
+  // shrank, or non-persistent mode — a fresh tracker is built. Updates
+  // `stats`'s rebuild/extend accounting.
+  CaptureTracker* AcquireTracker(size_t prefix, const RuleSet& rules,
+                                 SessionStats* stats);
+
+  // Records `rules` as the live set tracker_ is maintaining (deep copy, so
+  // later caller edits are detected by comparison).
+  void SnapshotRules(const RuleSet& rules);
+
   const Relation& relation_;
   size_t default_prefix_;
   SessionOptions options_;
   GeneralizationEngine generalizer_;
   SpecializationEngine specializer_;
+  // Persistent-tracker state (persistent_tracker mode; unused otherwise).
+  // tracker_rules_ is the snapshot of the rule set as of the last moment
+  // tracker_ was known to be in sync with it.
+  std::unique_ptr<CaptureTracker> tracker_;
+  std::unique_ptr<RuleSet> tracker_rules_;
 };
 
 }  // namespace rudolf

@@ -103,6 +103,7 @@ RunResult ExperimentRunner::Run(Method method) {
                  dataset_->options.false_fraud_fraction, &reveal_rng);
 
     double round_seconds = 0.0;
+    SessionStats session_stats;
     switch (method) {
       case Method::kRudolf:
       case Method::kRudolfNovice:
@@ -111,8 +112,8 @@ RunResult ExperimentRunner::Run(Method method) {
         Expert* expert =
             oracle != nullptr ? static_cast<Expert*>(oracle.get())
                               : static_cast<Expert*>(auto_accept.get());
-        SessionStats stats = session->Refine(prefix, &rules, expert, &result.log);
-        round_seconds = stats.expert_seconds;
+        session_stats = session->Refine(prefix, &rules, expert, &result.log);
+        round_seconds = session_stats.expert_seconds;
         break;
       }
       case Method::kManual: {
@@ -137,6 +138,11 @@ RunResult ExperimentRunner::Run(Method method) {
     record.rules = rules.size();
     record.round_seconds = round_seconds;
     record.total_seconds = total_seconds;
+    record.tracker_rebuilds = session_stats.tracker_rebuilds;
+    record.tracker_extends = session_stats.tracker_extends;
+    record.rebuild_seconds = session_stats.rebuild_seconds;
+    record.extend_seconds = session_stats.extend_seconds;
+    record.cache = session_stats.cache;
     record.future = EvaluateOnRange(*relation, rules, prefix, n);
     result.rounds.push_back(record);
   }

@@ -46,6 +46,14 @@ struct RoundRecord {
   double round_seconds = 0;  ///< expert time this round
   double total_seconds = 0;  ///< cumulative expert time
   PredictionQuality future;  ///< quality on the unseen suffix
+  // Incremental-tracker accounting of the refinement session this round
+  // (zeros for methods that run without one). With the default persistent
+  // session, steady-state rounds report extends and no rebuilds.
+  size_t tracker_rebuilds = 0;  ///< capture trackers built from scratch
+  size_t tracker_extends = 0;   ///< ExtendPrefix delta updates
+  double rebuild_seconds = 0;   ///< wall time building trackers
+  double extend_seconds = 0;    ///< wall time inside ExtendPrefix
+  ConditionCacheStats cache;    ///< condition-cache counters at round end
 };
 
 /// Full trace of one method over one dataset.

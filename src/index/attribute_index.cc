@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
-#include <unordered_map>
 
 namespace rudolf {
 
@@ -20,11 +19,15 @@ size_t ChunkFor(size_t n) {
   return std::max(kMinChunk, by_count);
 }
 
+bool EntryLess(CellValue av, uint32_t ar, CellValue bv, uint32_t br) {
+  return av < bv || (av == bv && ar < br);
+}
+
 }  // namespace
 
 NumericAttributeIndex::NumericAttributeIndex(const std::vector<CellValue>& column,
                                              size_t prefix_rows)
-    : prefix_(prefix_rows), chunk_(ChunkFor(prefix_rows)) {
+    : prefix_(prefix_rows), main_rows_(prefix_rows), chunk_(ChunkFor(prefix_rows)) {
   assert(column.size() >= prefix_rows);
   assert(prefix_rows <= std::numeric_limits<uint32_t>::max());
   sorted_.reserve(prefix_);
@@ -32,17 +35,61 @@ NumericAttributeIndex::NumericAttributeIndex(const std::vector<CellValue>& colum
     sorted_.push_back(Entry{column[r], static_cast<uint32_t>(r)});
   }
   std::sort(sorted_.begin(), sorted_.end(), [](const Entry& a, const Entry& b) {
-    return a.value < b.value || (a.value == b.value && a.row < b.row);
+    return EntryLess(a.value, a.row, b.value, b.row);
   });
-  size_t chunks = prefix_ / chunk_;  // only whole chunks get a snapshot
+  RebuildCumulative();
+}
+
+void NumericAttributeIndex::RebuildCumulative() {
+  size_t chunks = main_rows_ / chunk_;  // only whole chunks get a snapshot
+  cum_.clear();
   cum_.reserve(chunks + 1);
-  cum_.emplace_back(prefix_);
-  Bitset running(prefix_);
+  cum_.emplace_back(main_rows_);
+  Bitset running(main_rows_);
   for (size_t k = 1; k <= chunks; ++k) {
     for (size_t i = (k - 1) * chunk_; i < k * chunk_; ++i) {
       running.Set(sorted_[i].row);
     }
     cum_.push_back(running);
+  }
+}
+
+size_t NumericAttributeIndex::DeltaCompactionThreshold() const {
+  return std::max(kMinChunk, main_rows_ / 8);
+}
+
+void NumericAttributeIndex::AppendRows(const std::vector<CellValue>& column,
+                                       size_t new_prefix) {
+  assert(new_prefix >= prefix_);
+  assert(column.size() >= new_prefix);
+  assert(new_prefix <= std::numeric_limits<uint32_t>::max());
+  if (new_prefix == prefix_) return;
+  size_t old_delta = delta_.size();
+  delta_.reserve(old_delta + (new_prefix - prefix_));
+  for (size_t r = prefix_; r < new_prefix; ++r) {
+    delta_.push_back(Entry{column[r], static_cast<uint32_t>(r)});
+  }
+  auto less = [](const Entry& a, const Entry& b) {
+    return EntryLess(a.value, a.row, b.value, b.row);
+  };
+  std::sort(delta_.begin() + static_cast<ptrdiff_t>(old_delta), delta_.end(), less);
+  std::inplace_merge(delta_.begin(),
+                     delta_.begin() + static_cast<ptrdiff_t>(old_delta),
+                     delta_.end(), less);
+  prefix_ = new_prefix;
+  if (delta_.size() > DeltaCompactionThreshold()) {
+    size_t old_main = sorted_.size();
+    sorted_.insert(sorted_.end(), delta_.begin(), delta_.end());
+    std::inplace_merge(sorted_.begin(),
+                       sorted_.begin() + static_cast<ptrdiff_t>(old_main),
+                       sorted_.end(), less);
+    delta_.clear();
+    delta_.shrink_to_fit();
+    main_rows_ = prefix_;
+    // Re-derive the chunk size exactly as a fresh build over prefix_ would,
+    // so a compacted index and a from-scratch one are indistinguishable.
+    chunk_ = ChunkFor(main_rows_);
+    RebuildCumulative();
   }
 }
 
@@ -57,18 +104,29 @@ Bitset NumericAttributeIndex::Extract(const Interval& iv) const {
   size_t hi = static_cast<size_t>(
       std::upper_bound(sorted_.begin(), sorted_.end(), iv.hi, less_value) -
       sorted_.begin());
-  if (lo >= hi) return out;
-  // Whole chunks inside [lo, hi) come from one cumulative difference; the
-  // ragged ends are set individually.
-  size_t first_chunk = (lo + chunk_ - 1) / chunk_;
-  size_t last_chunk = hi / chunk_;
-  if (first_chunk < last_chunk && last_chunk < cum_.size()) {
-    out = cum_[last_chunk];
-    out.Subtract(cum_[first_chunk]);
-    for (size_t i = lo; i < first_chunk * chunk_; ++i) out.Set(sorted_[i].row);
-    for (size_t i = last_chunk * chunk_; i < hi; ++i) out.Set(sorted_[i].row);
-  } else {
-    for (size_t i = lo; i < hi; ++i) out.Set(sorted_[i].row);
+  if (lo < hi) {
+    // Whole chunks inside [lo, hi) come from one cumulative difference; the
+    // ragged ends are set individually. The cumulative bitmaps are bound to
+    // the main segment's universe and zero-extended into the full prefix.
+    size_t first_chunk = (lo + chunk_ - 1) / chunk_;
+    size_t last_chunk = hi / chunk_;
+    if (first_chunk < last_chunk && last_chunk < cum_.size()) {
+      out.OrZeroExtended(cum_[last_chunk]);
+      out.SubtractZeroExtended(cum_[first_chunk]);
+      for (size_t i = lo; i < first_chunk * chunk_; ++i) out.Set(sorted_[i].row);
+      for (size_t i = last_chunk * chunk_; i < hi; ++i) out.Set(sorted_[i].row);
+    } else {
+      for (size_t i = lo; i < hi; ++i) out.Set(sorted_[i].row);
+    }
+  }
+  if (!delta_.empty()) {
+    size_t dlo = static_cast<size_t>(
+        std::lower_bound(delta_.begin(), delta_.end(), iv.lo, value_less) -
+        delta_.begin());
+    size_t dhi = static_cast<size_t>(
+        std::upper_bound(delta_.begin(), delta_.end(), iv.hi, less_value) -
+        delta_.begin());
+    for (size_t i = dlo; i < dhi; ++i) out.Set(delta_[i].row);
   }
   return out;
 }
@@ -79,20 +137,34 @@ CategoricalAttributeIndex::CategoricalAttributeIndex(
     : prefix_(prefix_rows), ontology_(ontology) {
   assert(column.size() >= prefix_rows);
   ontology_->WarmCaches();
-  std::unordered_map<ConceptId, size_t> slot;
   for (size_t r = 0; r < prefix_; ++r) {
     ConceptId value = static_cast<ConceptId>(column[r]);
-    auto [it, inserted] = slot.emplace(value, postings_.size());
+    auto [it, inserted] = slot_.emplace(value, postings_.size());
     if (inserted) postings_.emplace_back(value, Bitset(prefix_));
     postings_[it->second].second.Set(r);
   }
+}
+
+void CategoricalAttributeIndex::AppendRows(const std::vector<CellValue>& column,
+                                           size_t new_prefix) {
+  assert(new_prefix >= prefix_);
+  assert(column.size() >= new_prefix);
+  for (size_t r = prefix_; r < new_prefix; ++r) {
+    ConceptId value = static_cast<ConceptId>(column[r]);
+    auto [it, inserted] = slot_.emplace(value, postings_.size());
+    if (inserted) postings_.emplace_back(value, Bitset(new_prefix));
+    Bitset& rows = postings_[it->second].second;
+    if (rows.size() < new_prefix) rows.Resize(new_prefix);
+    rows.Set(r);
+  }
+  prefix_ = new_prefix;
 }
 
 Bitset CategoricalAttributeIndex::Extract(ConceptId concept_id) const {
   Bitset out(prefix_);
   for (const auto& [value, rows] : postings_) {
     if (ontology_->IsValid(value) && ontology_->Contains(concept_id, value)) {
-      out |= rows;
+      out.OrZeroExtended(rows);
     }
   }
   return out;

@@ -17,6 +17,7 @@
 #define RUDOLF_INDEX_ATTRIBUTE_INDEX_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -29,6 +30,13 @@ namespace rudolf {
 
 /// \brief Sorted projection of one numeric column prefix with chunked
 /// cumulative bitmaps for O(rows/64) range extraction.
+///
+/// Streaming rows land in a small sorted *delta segment* instead of forcing
+/// a rebuild: AppendRows is O(batch log batch), Extract merges main + delta
+/// (the delta contributes two binary searches and |delta ∩ iv| bit sets),
+/// and the delta compacts into the main segment once it outgrows
+/// DeltaCompactionThreshold(). Extraction stays bit-identical to a fresh
+/// build at every point of the append schedule.
 class NumericAttributeIndex {
  public:
   /// Indexes the first `prefix_rows` entries of `column` (which must be at
@@ -37,9 +45,21 @@ class NumericAttributeIndex {
 
   size_t prefix_rows() const { return prefix_; }
 
+  /// Extends the index over rows [prefix_rows(), new_prefix) of `column`.
+  /// The new entries join the sorted delta segment; when the delta exceeds
+  /// DeltaCompactionThreshold() it is merged into the main segment and the
+  /// cumulative bitmaps are rebuilt (amortized O(1) per appended row).
+  void AppendRows(const std::vector<CellValue>& column, size_t new_prefix);
+
   /// Rows r < prefix_rows() with column[r] ∈ iv — the same bits the
   /// columnar scan of the interval condition would set.
   Bitset Extract(const Interval& iv) const;
+
+  /// Compaction trigger: the delta segment merges into the main segment
+  /// when it grows past max(1024, main/8).
+  size_t DeltaCompactionThreshold() const;
+
+  size_t delta_size() const { return delta_.size(); }  ///< for tests/benches
 
  private:
   struct Entry {
@@ -47,16 +67,25 @@ class NumericAttributeIndex {
     uint32_t row;
   };
 
+  void RebuildCumulative();
+
   size_t prefix_;
+  size_t main_rows_;              // rows covered by sorted_/cum_ (≤ prefix_)
   size_t chunk_;                  // entries per cumulative chunk
-  std::vector<Entry> sorted_;     // ascending by (value, row)
-  // cum_[k] = bitmap of the rows of sorted_[0, k*chunk_). Nested sets, so
-  // the rows of any aligned slice are cum_[b] & ~cum_[a].
+  std::vector<Entry> sorted_;     // main segment, ascending by (value, row)
+  std::vector<Entry> delta_;      // appended rows, ascending by (value, row)
+  // cum_[k] = bitmap of the rows of sorted_[0, k*chunk_), sized main_rows_.
+  // Nested sets, so the rows of any aligned slice are cum_[b] & ~cum_[a];
+  // Extract zero-extends them out to prefix_.
   std::vector<Bitset> cum_;
 };
 
 /// \brief Posting bitmaps per distinct stored value of one categorical
 /// column prefix.
+///
+/// Streaming rows extend postings in place: AppendRows resizes only the
+/// postings whose value occurs in the batch; untouched postings stay bound
+/// to their older, shorter universe and Extract zero-extends them.
 class CategoricalAttributeIndex {
  public:
   /// Indexes the first `prefix_rows` entries of `column`. The ontology must
@@ -66,6 +95,10 @@ class CategoricalAttributeIndex {
 
   size_t prefix_rows() const { return prefix_; }
 
+  /// Extends the index over rows [prefix_rows(), new_prefix) of `column` —
+  /// O(batch) posting-bit sets plus one resize per distinct value touched.
+  void AppendRows(const std::vector<CellValue>& column, size_t new_prefix);
+
   /// Rows whose stored value the ontology places under `concept_id`
   /// (reflexive containment), exactly as the scan's concept mask would.
   Bitset Extract(ConceptId concept_id) const;
@@ -73,8 +106,10 @@ class CategoricalAttributeIndex {
  private:
   size_t prefix_;
   const Ontology* ontology_;
-  // One posting per distinct stored value, in first-seen order.
+  // One posting per distinct stored value, in first-seen order. A posting's
+  // bitmap is sized to the prefix as of the last batch that touched it.
   std::vector<std::pair<ConceptId, Bitset>> postings_;
+  std::unordered_map<ConceptId, size_t> slot_;  // value -> postings_ index
 };
 
 }  // namespace rudolf

@@ -38,6 +38,15 @@ void ConditionCache::Put(const ConditionKey& key,
   }
 }
 
+void ConditionCache::ExtendEntries(
+    const std::function<std::shared_ptr<const Bitset>(
+        const ConditionKey&, const Bitset&)>& extend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, bitmap] : lru_) {
+    bitmap = extend(key, *bitmap);
+  }
+}
+
 void ConditionCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();

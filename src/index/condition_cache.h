@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -76,6 +77,16 @@ class ConditionCache {
   /// Inserts (or refreshes) an entry, evicting least-recently-used entries
   /// beyond capacity.
   void Put(const ConditionKey& key, std::shared_ptr<const Bitset> bitmap);
+
+  /// Rewrites every cached bitmap via `extend(key, old)` without touching
+  /// recency order or counters — the append path of ConditionIndex, which
+  /// replaces each entry with a copy extended over the new row range instead
+  /// of dropping the cache. Entries are swapped, never mutated, so readers
+  /// holding the old shared_ptr are unaffected. Runs under the cache lock;
+  /// serial coordinating-thread use only.
+  void ExtendEntries(
+      const std::function<std::shared_ptr<const Bitset>(
+          const ConditionKey&, const Bitset&)>& extend);
 
   /// Drops every entry (stats are reset too).
   void Clear();

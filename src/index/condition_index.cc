@@ -70,6 +70,52 @@ std::shared_ptr<const Bitset> ConditionIndex::ConditionBitmap(
   return bitmap;
 }
 
+void ConditionIndex::ExtendTo(size_t new_prefix) {
+  new_prefix = std::min(new_prefix, relation_.NumRows());
+  assert(new_prefix >= prefix_);
+  size_t old_prefix = prefix_;
+  if (new_prefix != old_prefix) {
+    for (size_t i = 0; i < numeric_.size(); ++i) {
+      if (numeric_[i] != nullptr) {
+        numeric_[i]->AppendRows(relation_.Column(i), new_prefix);
+      }
+      if (categorical_[i] != nullptr) {
+        categorical_[i]->AppendRows(relation_.Column(i), new_prefix);
+      }
+    }
+    // Cached bitmaps: copy, grow, and set the matches of the new row range
+    // by a direct column scan — O(batch) per entry, the exact bits a fresh
+    // extraction over the extended prefix would produce. Entries are
+    // replaced (not mutated) so outstanding readers keep their snapshot.
+    const Schema& schema = relation_.schema();
+    cache_.ExtendEntries([&](const ConditionKey& key, const Bitset& old_bitmap)
+                             -> std::shared_ptr<const Bitset> {
+      auto extended = std::make_shared<Bitset>(old_bitmap);
+      extended->Resize(new_prefix);
+      const std::vector<CellValue>& col = relation_.Column(key.attribute);
+      if (key.kind == AttrKind::kNumeric) {
+        Interval iv{key.a, key.b};
+        for (size_t r = old_prefix; r < new_prefix; ++r) {
+          if (iv.Contains(col[r])) extended->Set(r);
+        }
+      } else {
+        const Ontology* ontology = schema.attribute(key.attribute).ontology.get();
+        ConceptId concept_id = static_cast<ConceptId>(key.a);
+        for (size_t r = old_prefix; r < new_prefix; ++r) {
+          ConceptId value = static_cast<ConceptId>(col[r]);
+          if (ontology->IsValid(value) && ontology->Contains(concept_id, value)) {
+            extended->Set(r);
+          }
+        }
+      }
+      return extended;
+    });
+    prefix_ = new_prefix;
+  }
+  if (requested_prefix_ < prefix_) requested_prefix_ = prefix_;
+  snapshot_rows_ = relation_.NumRows();
+}
+
 bool ConditionIndex::InvalidateIfGrown() {
   if (relation_.NumRows() == snapshot_rows_) return false;
   snapshot_rows_ = relation_.NumRows();

@@ -11,12 +11,18 @@
 // ConditionBitmap and ReadyForRule are safe from worker threads afterwards
 // (the LRU cache is internally locked).
 //
-// Invalidation contract: indexes and cached bitmaps describe the first
-// prefix_rows() rows as of the last (re)build. A RuleEvaluator is bound to
-// a fixed prefix, so its index never goes stale. A long-lived index over an
-// advancing stream must call InvalidateIfGrown() before each use: when the
-// relation has grown past the snapshot it drops every index and bitmap and
-// re-binds the prefix.
+// Append/delta contract: indexes and cached bitmaps describe the first
+// prefix_rows() rows as of the last (re)build or extension. A RuleEvaluator
+// bound to a fixed prefix never goes stale. A long-lived index over an
+// advancing stream has two maintenance paths:
+//   * ExtendTo(new_prefix) — the delta path for pure appends: attribute
+//     indexes absorb only the new rows (numeric via a sorted delta segment,
+//     categorical by extending postings in place) and every cached condition
+//     bitmap is extended by scanning just the new row range. Work is
+//     O(batch), results bit-identical to a rebuild.
+//   * InvalidateIfGrown() — the wholesale path, still required after
+//     non-append mutations (SetCell rewrites of already-indexed rows, or a
+//     shrunk relation): drops every index and bitmap and re-binds.
 
 #ifndef RUDOLF_INDEX_CONDITION_INDEX_H_
 #define RUDOLF_INDEX_CONDITION_INDEX_H_
@@ -57,6 +63,16 @@ class ConditionIndex {
   /// from the attribute index on miss. Requires the attribute's index
   /// (EnsureForRule / ReadyForRule). Thread-safe.
   std::shared_ptr<const Bitset> ConditionBitmap(size_t attr, const Condition& cond);
+
+  /// Delta-maintains the binding out to `new_prefix` rows (clamped to the
+  /// relation's current rows; must not shrink the prefix): every built
+  /// attribute index absorbs the rows of [prefix_rows(), new_prefix) and
+  /// every cached condition bitmap is extended by extracting only that row
+  /// range. O(batch × (built indexes + cached conditions)); bit-identical
+  /// to dropping and rebuilding. Serial-only, like EnsureForRule. Only
+  /// valid when the relation grew by pure appends since the last
+  /// (re)build/extension — after SetCell rewrites use InvalidateIfGrown.
+  void ExtendTo(size_t new_prefix);
 
   /// Re-binds to the relation's current rows if it has grown (or shrunk)
   /// since the last (re)build, dropping every index and cached bitmap.

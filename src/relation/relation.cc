@@ -27,6 +27,7 @@ Status Relation::AppendRow(const Tuple& row, Label true_label, Label visible_lab
   for (size_t i = 0; i < row.size(); ++i) columns_[i].push_back(row[i]);
   true_labels_.push_back(true_label);
   visible_labels_.push_back(visible_label);
+  ++visible_counts_[static_cast<size_t>(visible_label)];
   scores_.push_back(score);
   ++num_rows_;
   return Status::OK();
@@ -40,8 +41,13 @@ Tuple Relation::GetRow(size_t row) const {
 
 std::vector<size_t> Relation::RowsWithVisibleLabel(Label label) const {
   std::vector<size_t> out;
-  for (size_t r = 0; r < num_rows_; ++r) {
-    if (visible_labels_[r] == label) out.push_back(r);
+  size_t remaining = CountVisible(label);
+  out.reserve(remaining);
+  for (size_t r = 0; r < num_rows_ && remaining > 0; ++r) {
+    if (visible_labels_[r] == label) {
+      out.push_back(r);
+      --remaining;
+    }
   }
   return out;
 }
@@ -52,14 +58,6 @@ std::vector<size_t> Relation::RowsWithTrueLabel(Label label) const {
     if (true_labels_[r] == label) out.push_back(r);
   }
   return out;
-}
-
-size_t Relation::CountVisible(Label label) const {
-  size_t n = 0;
-  for (Label l : visible_labels_) {
-    if (l == label) ++n;
-  }
-  return n;
 }
 
 std::string Relation::RowToString(size_t row) const {

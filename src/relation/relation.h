@@ -13,6 +13,7 @@
 #ifndef RUDOLF_RELATION_RELATION_H_
 #define RUDOLF_RELATION_RELATION_H_
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -52,8 +53,15 @@ class Relation {
   Label VisibleLabel(size_t row) const { return visible_labels_[row]; }
   int Score(size_t row) const { return scores_[row]; }
 
-  /// Reveals (or changes) the reported label of a row.
-  void SetVisibleLabel(size_t row, Label label) { visible_labels_[row] = label; }
+  /// Reveals (or changes) the reported label of a row. Keeps the per-label
+  /// row counts current, so CountVisible stays O(1).
+  void SetVisibleLabel(size_t row, Label label) {
+    Label old = visible_labels_[row];
+    if (old == label) return;
+    --visible_counts_[static_cast<size_t>(old)];
+    ++visible_counts_[static_cast<size_t>(label)];
+    visible_labels_[row] = label;
+  }
 
   /// Overwrites the ML risk score of a row (used after scorer training).
   void SetScore(size_t row, int score) { scores_[row] = score; }
@@ -64,14 +72,19 @@ class Relation {
     columns_[col][row] = value;
   }
 
-  /// Rows with the given visible label.
+  /// Rows with the given visible label. The scan stops as soon as the
+  /// maintained per-label count is exhausted, so sparse labels (fraud in a
+  /// mostly-unlabeled stream) cost O(first occurrences), not O(rows).
   std::vector<size_t> RowsWithVisibleLabel(Label label) const;
 
   /// Rows with the given true label.
   std::vector<size_t> RowsWithTrueLabel(Label label) const;
 
-  /// Number of rows whose visible label equals `label`.
-  size_t CountVisible(Label label) const;
+  /// Number of rows whose visible label equals `label` — O(1), maintained
+  /// incrementally by AppendRow/SetVisibleLabel.
+  size_t CountVisible(Label label) const {
+    return visible_counts_[static_cast<size_t>(label)];
+  }
 
   /// Renders row `row` as "attr=value, ..." for logs and examples.
   std::string RowToString(size_t row) const;
@@ -82,6 +95,8 @@ class Relation {
   std::vector<Label> true_labels_;
   std::vector<Label> visible_labels_;
   std::vector<int> scores_;
+  // Row counts per visible label, indexed by Label's underlying value.
+  std::array<size_t, 3> visible_counts_ = {0, 0, 0};
   size_t num_rows_ = 0;
 };
 

@@ -36,6 +36,49 @@ RuleEvaluator::RuleEvaluator(const Relation& relation, size_t prefix_rows,
                  ? std::make_unique<ConditionIndex>(relation, num_rows_)
                  : nullptr) {}
 
+void RuleEvaluator::ExtendPrefix(size_t new_prefix) {
+  new_prefix = std::min(new_prefix, relation_.NumRows());
+  assert(new_prefix >= num_rows_);
+  if (new_prefix == num_rows_) return;
+  num_rows_ = new_prefix;
+  if (index_ != nullptr) index_->ExtendTo(new_prefix);
+}
+
+void RuleEvaluator::EvalRuleRange(const Rule& rule, size_t lo, size_t hi,
+                                  Bitset* out) const {
+  assert(rule.arity() == relation_.schema().arity());
+  assert(out->size() == num_rows_);
+  if (hi > num_rows_) hi = num_rows_;
+  if (lo >= hi) return;
+  std::vector<size_t> conditions = NonTrivialConditions(rule);
+  if (conditions.empty()) {
+    out->SetRange(lo, hi);
+    return;
+  }
+  EvalRuleBlock(rule, conditions, lo, hi, out);
+}
+
+void RuleEvaluator::EvalRulesRange(const RuleSet& rules,
+                                   const std::vector<RuleId>& ids, size_t lo,
+                                   size_t hi,
+                                   const std::vector<Bitset*>& outs) const {
+  assert(ids.size() == outs.size());
+  if (pool_ != nullptr && ids.size() > 1 && !pool_->OnWorkerThread()) {
+    // Serially warm the concept-mask cache so the workers' range scans only
+    // read shared state (the range path never touches the condition index).
+    for (RuleId id : ids) EnsureMasks(rules.Get(id));
+    pool_->ParallelFor(0, ids.size(), 1, [&](size_t a, size_t b) {
+      for (size_t i = a; i < b; ++i) {
+        EvalRuleRange(rules.Get(ids[i]), lo, hi, outs[i]);
+      }
+    });
+  } else {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      EvalRuleRange(rules.Get(ids[i]), lo, hi, outs[i]);
+    }
+  }
+}
+
 const std::vector<uint8_t>& RuleEvaluator::ConceptMask(const Ontology* ontology,
                                                        ConceptId concept_id) const {
   for (const auto& entry : mask_cache_) {

@@ -81,6 +81,29 @@ class RuleEvaluator {
   /// Resolved thread count (1 = serial).
   int num_threads() const { return num_threads_; }
 
+  /// Re-binds to the first `new_prefix` rows (clamped to the relation's
+  /// current rows; must not shrink) after the relation grew by appends: the
+  /// condition index absorbs only the new rows via ConditionIndex::ExtendTo.
+  /// O(batch), bit-identical to constructing a fresh evaluator over the new
+  /// prefix. Serial-only (coordinating thread).
+  void ExtendPrefix(size_t new_prefix);
+
+  /// Sets in `out` (sized num_rows()) the bits of the rows in [lo, hi)
+  /// captured by the rule — exactly the bits EvalRule would set in that
+  /// range; bits outside [lo, hi) are untouched. The serial row-range scan
+  /// of the append path: extending a capture bitmap to a grown prefix costs
+  /// O(hi - lo). Requires the rule's concept masks to be warm when called
+  /// from a worker thread (see EvalRulesRange).
+  void EvalRuleRange(const Rule& rule, size_t lo, size_t hi, Bitset* out) const;
+
+  /// EvalRuleRange for a batch of live rules, in `ids` order, writing into
+  /// `outs[i]` — the bulk delta pass behind CaptureTracker::ExtendPrefix.
+  /// Parallel across rules when num_threads > 1 (concept masks are warmed
+  /// serially first); bit-identical to the serial loop.
+  void EvalRulesRange(const RuleSet& rules, const std::vector<RuleId>& ids,
+                      size_t lo, size_t hi,
+                      const std::vector<Bitset*>& outs) const;
+
   /// Rows captured by a single rule. Parallel across row blocks for large
   /// prefixes when the evaluator was built with num_threads > 1.
   Bitset EvalRule(const Rule& rule) const;

@@ -36,6 +36,45 @@ void Bitset::Fill(bool value) {
   if (value) ClearPadding();
 }
 
+void Bitset::Resize(size_t new_size) {
+  size_t old_size = size_;
+  size_ = new_size;
+  words_.resize((new_size + 63) / 64, 0);
+  if (new_size < old_size) {
+    ClearPadding();
+  } else if (old_size % 64 != 0 && !words_.empty()) {
+    // Growth into a previously padded tail: the padding is already zero by
+    // the ClearPadding invariant, so nothing to do — asserted, not cleared.
+    assert((words_[old_size / 64] & ~((uint64_t{1} << (old_size % 64)) - 1)) == 0);
+  }
+}
+
+void Bitset::SetRange(size_t begin, size_t end) {
+  if (end > size_) end = size_;
+  if (begin >= end) return;
+  size_t first = begin / 64;
+  size_t last = (end - 1) / 64;
+  uint64_t head = ~uint64_t{0} << (begin % 64);
+  uint64_t tail = end % 64 == 0 ? ~uint64_t{0} : (uint64_t{1} << (end % 64)) - 1;
+  if (first == last) {
+    words_[first] |= head & tail;
+    return;
+  }
+  words_[first] |= head;
+  for (size_t w = first + 1; w < last; ++w) words_[w] = ~uint64_t{0};
+  words_[last] |= tail;
+}
+
+void Bitset::OrZeroExtended(const Bitset& other) {
+  assert(other.size_ <= size_);
+  for (size_t i = 0; i < other.words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void Bitset::SubtractZeroExtended(const Bitset& other) {
+  assert(other.size_ <= size_);
+  for (size_t i = 0; i < other.words_.size(); ++i) words_[i] &= ~other.words_[i];
+}
+
 size_t Bitset::Count() const {
   size_t n = 0;
   for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));

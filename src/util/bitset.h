@@ -29,6 +29,15 @@ class Bitset {
   /// Sets every bit to `value`.
   void Fill(bool value);
 
+  /// Grows (or shrinks) the universe to `new_size`, preserving the bits of
+  /// the common prefix; bits gained by growth start clear. This is the
+  /// append path of the streaming structures: extending a capture bitmap to
+  /// a larger row prefix costs one word-vector resize, not a rebuild.
+  void Resize(size_t new_size);
+
+  /// Sets every bit in [begin, end) (clamped to size).
+  void SetRange(size_t begin, size_t end);
+
   /// Number of set bits.
   size_t Count() const;
 
@@ -47,6 +56,15 @@ class Bitset {
   /// range are written — concurrent OrRange calls over disjoint
   /// word-aligned ranges of the same destination therefore never race.
   void OrRange(const Bitset& other, size_t begin, size_t end);
+
+  /// In-place union with zext(other): `other` may be shorter than this; its
+  /// missing tail is treated as zeros. Lets bitmaps bound to an older, shorter
+  /// prefix combine with extended ones without materializing a resized copy.
+  void OrZeroExtended(const Bitset& other);
+
+  /// In-place difference with zext(other): this &= ~zext(other), with
+  /// `other` no longer than this.
+  void SubtractZeroExtended(const Bitset& other);
 
   /// In-place union; `other` must have the same size.
   Bitset& operator|=(const Bitset& other);
@@ -71,6 +89,28 @@ class Bitset {
   void ForEach(Fn&& fn) const {
     for (size_t w = 0; w < words_.size(); ++w) {
       uint64_t word = words_[w];
+      while (word != 0) {
+        int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Calls fn(index) for every set bit in [begin, end) (clamped to size), in
+  /// ascending order. Cost is O((end - begin)/64), independent of size() —
+  /// the delta-accumulation passes of the append path iterate only the new
+  /// row range with this.
+  template <typename Fn>
+  void ForEachInRange(size_t begin, size_t end, Fn&& fn) const {
+    if (end > size_) end = size_;
+    if (begin >= end) return;
+    size_t first = begin / 64;
+    size_t last = (end - 1) / 64;
+    for (size_t w = first; w <= last; ++w) {
+      uint64_t word = words_[w];
+      if (w == first) word &= ~uint64_t{0} << (begin % 64);
+      if (w == last && end % 64 != 0) word &= (uint64_t{1} << (end % 64)) - 1;
       while (word != 0) {
         int bit = __builtin_ctzll(word);
         fn(w * 64 + static_cast<size_t>(bit));

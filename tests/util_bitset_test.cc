@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 namespace rudolf {
 namespace {
@@ -228,6 +230,71 @@ TEST(Bitset, DisjointWordAlignedOrRangesComposeToFullUnion) {
     dst.OrRange(src, lo, std::min<size_t>(1000, lo + 192));
   }
   EXPECT_EQ(dst, expected);
+}
+
+TEST(Bitset, ResizeGrowsWithZerosAndShrinksClean) {
+  Bitset b(70);
+  b.Set(0);
+  b.Set(69);
+  b.Resize(200);
+  EXPECT_EQ(b.size(), 200u);
+  EXPECT_EQ(b.Count(), 2u);  // new tail is all zeros
+  EXPECT_TRUE(b.Test(69));
+  b.Set(199);
+  b.Resize(70);
+  EXPECT_EQ(b.size(), 70u);
+  EXPECT_EQ(b.Count(), 2u);
+  b.Resize(200);  // regrow: the shrink must have cleared the padding
+  EXPECT_FALSE(b.Test(199));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(Bitset, SetRangeMatchesLoop) {
+  for (auto [lo, hi] : {std::pair<size_t, size_t>{0, 0},
+                        {3, 61},
+                        {60, 70},
+                        {64, 128},
+                        {1, 199},
+                        {190, 200}}) {
+    Bitset got(200);
+    got.SetRange(lo, hi);
+    Bitset expected(200);
+    for (size_t i = lo; i < hi; ++i) expected.Set(i);
+    EXPECT_EQ(got, expected) << "[" << lo << "," << hi << ")";
+  }
+}
+
+TEST(Bitset, ZeroExtendedOrAndSubtract) {
+  Bitset small(70);
+  small.Set(3);
+  small.Set(69);
+  Bitset big(200);
+  big.Set(3);
+  big.Set(100);
+  Bitset ored = big;
+  ored.OrZeroExtended(small);  // small behaves as if padded to 200 with 0s
+  EXPECT_EQ(ored.ToIndices(), (std::vector<size_t>{3, 69, 100}));
+  Bitset subtracted = ored;
+  subtracted.SubtractZeroExtended(small);
+  EXPECT_EQ(subtracted.ToIndices(), (std::vector<size_t>{100}));
+}
+
+TEST(Bitset, ForEachInRangeMatchesFilteredForEach) {
+  Bitset b(300);
+  for (size_t i = 0; i < 300; i += 7) b.Set(i);
+  for (auto [lo, hi] : {std::pair<size_t, size_t>{0, 300},
+                        {5, 5},
+                        {63, 65},
+                        {64, 192},
+                        {250, 1000}}) {
+    std::vector<size_t> got;
+    b.ForEachInRange(lo, hi, [&](size_t i) { got.push_back(i); });
+    std::vector<size_t> expected;
+    b.ForEach([&](size_t i) {
+      if (i >= lo && i < hi) expected.push_back(i);
+    });
+    EXPECT_EQ(got, expected) << "[" << lo << "," << hi << ")";
+  }
 }
 
 TEST(Bitset, InPlaceOperators) {
