@@ -46,5 +46,10 @@ int main() {
   ShapeCheck("rudolf <= rudolf-s (ontologies help)", err[0] <= err[1] + 1e-9);
   ShapeCheck("rudolf-s misses more or flags more than rudolf",
              miss[1] + fp[1] >= miss[0] + fp[0]);
+
+  BenchJson json("ablation_categorical", BenchRows());
+  json.Metric("rudolf_error_pct", err[0] / n);
+  json.Metric("rudolf_s_error_pct", err[1] / n);
+  json.Write();
   return 0;
 }

@@ -24,6 +24,7 @@ int main() {
       {"streaming-kmeans", ClusteringStrategy::kStreamingKMeans},
   };
 
+  BenchJson json("ablation_clustering", BenchRows());
   TablePrinter table({"strategy", "balanced err %", "edits", "expert min"});
   for (const Config& config : configs) {
     RunnerOptions options;
@@ -37,10 +38,13 @@ int main() {
                   TablePrinter::Num(last.future.BalancedErrorPct(), 1),
                   TablePrinter::Int(static_cast<long long>(last.cumulative_edits)),
                   TablePrinter::Num(last.total_seconds / 60.0, 1)});
+    json.Metric(std::string(config.name) + "_error_pct",
+                last.future.BalancedErrorPct());
   }
   table.Print();
   std::printf("\n(the default leader strategy is order-sensitive but cheap; "
               "medoid-based\nstrategies bound the cluster count at the cost "
               "of mixing sparse noise\ninto pattern clusters)\n");
+  json.Write();
   return 0;
 }

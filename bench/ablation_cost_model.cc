@@ -76,5 +76,8 @@ int main() {
                   TablePrinter::Int(static_cast<long long>(second.log.size()))});
   }
   table.Print();
+
+  BenchJson json("ablation_cost_model", BenchRows());
+  json.Write();
   return 0;
 }

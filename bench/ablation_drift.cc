@@ -51,5 +51,11 @@ int main() {
              with.err <= without.err + 2.0 * n);
   ShapeCheck("retirement keeps the rule set no larger",
              with.rules <= without.rules + 1e-9);
+
+  BenchJson json("ablation_drift", BenchRows());
+  json.Metric("with_retirement_error_pct", with.err / n);
+  json.Metric("without_retirement_error_pct", without.err / n);
+  json.Metric("with_retirement_rules", with.rules / n);
+  json.Write();
   return 0;
 }

@@ -27,5 +27,8 @@ int main() {
                   TablePrinter::Num(last.total_seconds / 60.0, 1)});
   }
   table.Print();
+
+  BenchJson json("ablation_topk", BenchRows());
+  json.Write();
   return 0;
 }

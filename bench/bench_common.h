@@ -12,6 +12,7 @@
 
 #include "experiments/runner.h"
 #include "metrics/report.h"
+#include "obs/metrics.h"
 #include "workload/scenarios.h"
 
 namespace rudolf {
@@ -73,7 +74,12 @@ class BenchJson {
       std::fprintf(f, "%s\n    \"%s\": %.9g", i > 0 ? "," : "",
                    entries_[i].first.c_str(), entries_[i].second);
     }
-    std::fprintf(f, "\n  }\n}\n");
+    // Every sidecar carries the process-wide metrics registry, so perf
+    // tooling can correlate a bench's headline numbers with the engine
+    // counters (index/cache/tracker/pool activity) of the same run.
+    std::string registry =
+        obs::MetricsRegistry::Default().Snapshot().ToJson(/*indent=*/2);
+    std::fprintf(f, "\n  },\n  \"metrics_registry\": %s\n}\n", registry.c_str());
     std::fclose(f);
     std::printf("[bench-json] wrote %s\n", path.c_str());
     return true;

@@ -38,5 +38,11 @@ int main() {
   size_t minus = results[2].rounds.back().cumulative_updates;
   ShapeCheck("rudolf < manual", rudolf < manual);
   ShapeCheck("manual < rudolf-minus", manual < minus);
+
+  BenchJson json("fig3a_cumulative_changes", BenchRows());
+  json.Metric("rudolf_updates", static_cast<double>(rudolf));
+  json.Metric("manual_updates", static_cast<double>(manual));
+  json.Metric("rudolf_minus_updates", static_cast<double>(minus));
+  json.Write();
   return 0;
 }

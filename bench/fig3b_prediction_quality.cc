@@ -52,5 +52,11 @@ int main() {
   ShapeCheck("manual <= rudolf-minus", final_err(1) <= final_err(2) + 1e-9);
   ShapeCheck("rudolf-minus <= threshold-ml", final_err(2) <= final_err(3) + 1e-9);
   ShapeCheck("rudolf < no-change", final_err(0) < final_err(4));
+
+  BenchJson json("fig3b_prediction_quality", BenchRows());
+  json.Metric("rudolf_error_pct", final_err(0));
+  json.Metric("manual_error_pct", final_err(1));
+  json.Metric("threshold_ml_error_pct", final_err(3));
+  json.Write();
   return 0;
 }

@@ -61,5 +61,10 @@ int main() {
              rudolf_best);
   ShapeCheck("rudolf error does not grow with data size",
              per_method[0].back() <= per_method[0].front() + 2.0);
+
+  BenchJson json("fig3c_dataset_size", sizes.back());
+  json.Metric("rudolf_error_smallest", per_method[0].front());
+  json.Metric("rudolf_error_largest", per_method[0].back());
+  json.Write();
   return 0;
 }

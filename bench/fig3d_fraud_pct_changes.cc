@@ -52,5 +52,10 @@ int main() {
   ShapeCheck("rudolf updates grow with fraud share",
              rudolf_updates.back() > rudolf_updates.front());
   ShapeCheck("rudolf needs the fewest updates", rudolf_fewest);
+
+  BenchJson json("fig3d_fraud_pct_changes", n);
+  json.Metric("rudolf_updates_low_fraud", rudolf_updates.front());
+  json.Metric("rudolf_updates_high_fraud", rudolf_updates.back());
+  json.Write();
   return 0;
 }

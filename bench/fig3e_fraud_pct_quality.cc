@@ -48,5 +48,9 @@ int main() {
   std::printf("\n");
   ShapeCheck("rudolf lowest error (within 1pp) at every fraud share",
              rudolf_lowest);
+
+  BenchJson json("fig3e_fraud_pct_quality", n);
+  json.Metric("rudolf_lowest", rudolf_lowest ? 1.0 : 0.0);
+  json.Write();
   return 0;
 }

@@ -110,5 +110,11 @@ int main() {
              manual_seconds >= 4.0 * rudolf_seconds);
   ShapeCheck("manual cannot finish 50 fixes in a workday (30-40/day)",
              fits_in_day < kTask && fits_in_day >= 25);
+
+  BenchJson json("fig3f_expert_time", BenchRows());
+  json.Metric("rudolf_expert_seconds", rudolf_seconds);
+  json.Metric("manual_expert_seconds", manual_seconds);
+  json.Metric("time_ratio", rudolf_seconds > 0 ? manual_seconds / rudolf_seconds : 0.0);
+  json.Write();
   return 0;
 }

@@ -55,5 +55,10 @@ int main() {
   ShapeCheck("spread across institutes is small (stddev <= 5pp)", stddev <= 5.0);
   ShapeCheck("every institute ends clearly better than capture-nothing (50)",
              *std::max_element(errors.begin(), errors.end()) < 35.0);
+
+  BenchJson json("institute_fleet", BenchRows(30000));
+  json.Metric("mean_error_pct", mean);
+  json.Metric("stddev_pp", stddev);
+  json.Write();
   return 0;
 }

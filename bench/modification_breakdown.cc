@@ -47,5 +47,11 @@ int main() {
              refine > split && refine > add);
   ShapeCheck("splits and additions are minority kinds",
              split + add < refine);
+
+  BenchJson json("modification_breakdown", BenchRows());
+  json.Metric("refine_pct", pct(refine));
+  json.Metric("split_pct", pct(split));
+  json.Metric("add_pct", pct(add));
+  json.Write();
   return 0;
 }

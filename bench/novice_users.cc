@@ -54,5 +54,11 @@ int main() {
   ShapeCheck("novice+RUDOLF within a few points of expert+RUDOLF",
              novice <= expert + 5.0);
   ShapeCheck("novice+RUDOLF clearly beats the novice alone", novice < alone);
+
+  BenchJson json("novice_users", BenchRows());
+  json.Metric("expert_error_pct", expert);
+  json.Metric("novice_error_pct", novice);
+  json.Metric("novice_alone_error_pct", alone);
+  json.Write();
   return 0;
 }

@@ -100,6 +100,7 @@ int main() {
 
   PrintHeader(kThreads, kNumConfigs);
 
+  bench::BenchJson json("parallel_scaling", rows);
   double rule_set_speedup_at_8 = 0.0;
   {
     std::printf("%-28s", "EvalRuleSet");
@@ -108,9 +109,11 @@ int main() {
       double s = TimeMedian3([&] { evals[i].EvalRuleSet(rules); });
       if (i == 0) serial = s;
       std::printf("  %6.3f", s);
+      json.Metric("eval_rule_set_seconds_" + std::to_string(kThreads[i]) + "t", s);
       if (i + 1 == kNumConfigs) rule_set_speedup_at_8 = serial / s;
     }
     std::printf("   %8.2fx\n", rule_set_speedup_at_8);
+    json.Metric("eval_rule_set_speedup_8t", rule_set_speedup_at_8);
   }
 
   {
@@ -123,7 +126,10 @@ int main() {
       double s = TimeMedian3([&] { evals[i].EvalRule(widest); });
       if (i == 0) serial = s;
       std::printf("  %6.3f", s);
-      if (i + 1 == kNumConfigs) std::printf("   %8.2fx\n", serial / s);
+      if (i + 1 == kNumConfigs) {
+        std::printf("   %8.2fx\n", serial / s);
+        json.Metric("eval_rule_speedup_8t", serial / s);
+      }
     }
   }
 
@@ -138,9 +144,13 @@ int main() {
       });
       if (i == 0) serial = s;
       std::printf("  %6.3f", s);
-      if (i + 1 == kNumConfigs) std::printf("   %8.2fx\n", serial / s);
+      if (i + 1 == kNumConfigs) {
+        std::printf("   %8.2fx\n", serial / s);
+        json.Metric("tracker_build_speedup_8t", serial / s);
+      }
     }
   }
+  json.Write();
 
   std::printf("\n");
   bench::ShapeCheck("parallel results bit-identical to serial", true);

@@ -22,6 +22,7 @@
 
 #include "bench/bench_common.h"
 #include "core/capture_tracker.h"
+#include "obs/trace.h"
 #include "rules/evaluator.h"
 #include "util/random.h"
 #include "workload/generator.h"
@@ -103,6 +104,9 @@ int main() {
   double rebuild_total = 0.0;
   size_t prefix = start_prefix;
   for (size_t round = 1; round <= num_rounds; ++round) {
+    // Each bench round plays one streaming-session round; trace it under the
+    // same span name RefinementSession uses so RUDOLF_TRACE output lines up.
+    RUDOLF_SPAN("session.round");
     size_t new_prefix = prefix + batch;
     // The batch "arrives": its labels get reported. Only rows beyond the
     // tracker's prefix change, so no label-fixup notifications are needed.

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Summarize a RUDOLF Chrome trace (RUDOLF_TRACE=<path>) per span name.
+
+Reads a trace_event JSON document (the format Tracer::WriteTo emits — also
+loadable in chrome://tracing and Perfetto) and prints, for every span name,
+the event count and the p50/p95/max duration. Use it to check the paper's
+"proposal selection took at most one second" claim against a traced run:
+
+    RUDOLF_TRACE=run.trace.json build/bench/proposal_latency
+    scripts/trace_report.py run.trace.json
+
+Standard library only.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def quantile(sorted_values, q):
+    """Nearest-rank quantile of an ascending list (0 <= q <= 1)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[rank]
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents", [])
+    elif isinstance(doc, list):  # bare-array trace format
+        events = doc
+    else:
+        raise ValueError("not a chrome trace document")
+    return [e for e in events if isinstance(e, dict) and e.get("ph") == "X"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace JSON written by RUDOLF_TRACE")
+    parser.add_argument(
+        "--sort",
+        choices=["total", "count", "p95", "name"],
+        default="total",
+        help="row ordering (default: total time, descending)",
+    )
+    parser.add_argument(
+        "--threshold-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="exit 1 if any span's max duration exceeds S seconds",
+    )
+    args = parser.parse_args()
+
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    if not events:
+        print("no complete ('ph': 'X') events in trace")
+        return 0
+
+    # Durations are in microseconds in the trace; report seconds.
+    by_name = defaultdict(list)
+    for e in events:
+        by_name[e.get("name", "?")].append(float(e.get("dur", 0.0)) * 1e-6)
+
+    rows = []
+    for name, durs in by_name.items():
+        durs.sort()
+        rows.append(
+            {
+                "name": name,
+                "count": len(durs),
+                "total": sum(durs),
+                "p50": quantile(durs, 0.50),
+                "p95": quantile(durs, 0.95),
+                "max": durs[-1],
+            }
+        )
+
+    key = {"total": lambda r: -r["total"], "count": lambda r: -r["count"],
+           "p95": lambda r: -r["p95"], "name": lambda r: r["name"]}[args.sort]
+    rows.sort(key=key)
+
+    width = max(len(r["name"]) for r in rows)
+    print(f"{'span':<{width}}  {'count':>8}  {'total s':>10}  "
+          f"{'p50 s':>10}  {'p95 s':>10}  {'max s':>10}")
+    for r in rows:
+        print(f"{r['name']:<{width}}  {r['count']:>8}  {r['total']:>10.4f}  "
+              f"{r['p50']:>10.6f}  {r['p95']:>10.6f}  {r['max']:>10.6f}")
+
+    if args.threshold_s is not None:
+        over = [r for r in rows if r["max"] > args.threshold_s]
+        if over:
+            names = ", ".join(r["name"] for r in over)
+            print(f"\nFAIL: spans over {args.threshold_s}s: {names}")
+            return 1
+        print(f"\nOK: every span's max is within {args.threshold_s}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace rudolf {
 
 CaptureTracker::CaptureTracker(const Relation& relation, const RuleSet& rules,
@@ -9,6 +12,9 @@ CaptureTracker::CaptureTracker(const Relation& relation, const RuleSet& rules,
     : relation_(relation),
       prefix_(std::min(prefix_rows, relation.NumRows())),
       evaluator_(relation, prefix_, eval) {
+  RUDOLF_SPAN("tracker.build");
+  RUDOLF_SCOPED_LATENCY("tracker.build.seconds");
+  RUDOLF_COUNTER_INC("tracker.builds");
   cover_count_.assign(prefix_, 0);
   std::vector<RuleId> ids = rules.LiveIds();
   // Bitmap evaluation fans out across rules; the cover-count accumulation
@@ -44,6 +50,9 @@ void CaptureTracker::LowerCover(size_t row) {
 }
 
 void CaptureTracker::ExtendPrefix(size_t new_prefix, const RuleSet& rules) {
+  RUDOLF_SPAN("tracker.extend");
+  RUDOLF_SCOPED_LATENCY("tracker.extend.seconds");
+  RUDOLF_COUNTER_INC("tracker.extends");
   size_t old_prefix = prefix_;
   evaluator_.ExtendPrefix(new_prefix);
   prefix_ = evaluator_.num_rows();

@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "cluster/representative.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -46,6 +48,9 @@ Rule GeneralizationEngine::BuildRepresentative(
 std::vector<GeneralizationProposal> GeneralizationEngine::RankCandidates(
     const RuleSet& rules, const CaptureTracker& tracker, const Rule& representative,
     size_t cluster_size) const {
+  RUDOLF_SPAN("generalize.rank");
+  RUDOLF_SCOPED_LATENCY("generalize.rank.seconds");
+  RUDOLF_COUNTER_INC("generalize.rankings");
   const Schema& schema = relation_.schema();
 
   // Stage 1: distance pre-filter (Equation 1).
@@ -136,6 +141,7 @@ void GeneralizationEngine::ApplyRuleChange(RuleSet* rules, CaptureTracker* track
 
 GeneralizeStats GeneralizationEngine::Run(RuleSet* rules, CaptureTracker* tracker,
                                           Expert* expert, EditLog* log) {
+  RUDOLF_SPAN("session.generalize");
   GeneralizeStats stats;
   const Schema& schema = relation_.schema();
 
@@ -160,9 +166,14 @@ GeneralizeStats GeneralizationEngine::Run(RuleSet* rules, CaptureTracker* tracke
   }
   ++pass_counter_;
 
-  std::vector<std::vector<size_t>> clusters =
-      ClusterRows(relation_, uncovered_fraud, clustering);
+  std::vector<std::vector<size_t>> clusters;
+  {
+    RUDOLF_SPAN("generalize.cluster");
+    RUDOLF_SCOPED_LATENCY("generalize.cluster.seconds");
+    clusters = ClusterRows(relation_, uncovered_fraud, clustering);
+  }
   stats.clusters = clusters.size();
+  RUDOLF_COUNTER_ADD("generalize.clusters", clusters.size());
   // Triage: big clusters (real attack bursts) first; sparse noise last.
   std::stable_sort(clusters.begin(), clusters.end(),
                    [](const std::vector<size_t>& a, const std::vector<size_t>& b) {
@@ -320,6 +331,9 @@ GeneralizeStats GeneralizationEngine::Run(RuleSet* rules, CaptureTracker* tracke
       }
     }
   }
+  RUDOLF_COUNTER_ADD("generalize.proposals", stats.proposals);
+  RUDOLF_COUNTER_ADD("generalize.accepted", stats.accepted + stats.revised);
+  RUDOLF_COUNTER_ADD("generalize.rejected", stats.rejected);
   return stats;
 }
 

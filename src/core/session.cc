@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rules/simplify.h"
 
 namespace rudolf {
@@ -83,11 +85,14 @@ SessionStats RefinementSession::Refine(RuleSet* rules, Expert* expert,
 
 SessionStats RefinementSession::Refine(size_t prefix_rows, RuleSet* rules,
                                        Expert* expert, EditLog* log) {
+  RUDOLF_SPAN("session.refine");
   SessionStats stats;
   size_t prefix = std::min(prefix_rows, relation_.NumRows());
   size_t edits_before = log->size();
 
   for (int round = 0; round < options_.max_rounds; ++round) {
+    RUDOLF_SPAN("session.round");
+    RUDOLF_COUNTER_INC("session.rounds");
     CaptureTracker* tracker = AcquireTracker(prefix, *rules, &stats);
     size_t edits_at_round_start = log->size();
 
@@ -142,20 +147,33 @@ CaptureTracker* RefinementSession::AcquireTracker(size_t prefix,
                   tracker_rules_ != nullptr &&
                   tracker_->prefix_rows() <= prefix &&
                   SameRuleSet(*tracker_rules_, rules);
+  // SessionStats stays locally accounted (registry totals are process-wide
+  // and would cross-contaminate concurrent sessions); the registry gets a
+  // mirror of the same events for dashboards and bench sidecars.
   if (reusable) {
     if (tracker_->prefix_rows() < prefix) {
       auto start = std::chrono::steady_clock::now();
       tracker_->ExtendPrefix(prefix, rules);
-      stats->extend_seconds += SecondsSince(start);
+      double seconds = SecondsSince(start);
+      stats->extend_seconds += seconds;
       ++stats->tracker_extends;
+      RUDOLF_COUNTER_INC("session.tracker.extends");
+      obs::MetricsRegistry::Default()
+          .GetHistogram("session.tracker.extend.seconds")
+          ->Record(seconds);
     }
     return tracker_.get();
   }
   auto start = std::chrono::steady_clock::now();
   tracker_ = std::make_unique<CaptureTracker>(relation_, rules, prefix,
                                               options_.eval);
-  stats->rebuild_seconds += SecondsSince(start);
+  double seconds = SecondsSince(start);
+  stats->rebuild_seconds += seconds;
   ++stats->tracker_rebuilds;
+  RUDOLF_COUNTER_INC("session.tracker.rebuilds");
+  obs::MetricsRegistry::Default()
+      .GetHistogram("session.tracker.rebuild.seconds")
+      ->Record(seconds);
   SnapshotRules(rules);
   return tracker_.get();
 }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace rudolf {
 
 SpecializationEngine::SpecializationEngine(const Relation& relation,
@@ -12,6 +15,9 @@ SpecializationEngine::SpecializationEngine(const Relation& relation,
 std::vector<SplitProposal> SpecializationEngine::RankSplits(
     const RuleSet& rules, const CaptureTracker& tracker, RuleId rule_id,
     size_t row) const {
+  RUDOLF_SPAN("specialize.rank_splits");
+  RUDOLF_SCOPED_LATENCY("specialize.rank_splits.seconds");
+  RUDOLF_COUNTER_INC("specialize.rankings");
   const Schema& schema = relation_.schema();
   const Rule& rule = rules.Get(rule_id);
   Tuple l = relation_.GetRow(row);
@@ -124,6 +130,7 @@ void SpecializationEngine::ApplySplit(RuleSet* rules, CaptureTracker* tracker,
 
 SpecializeStats SpecializationEngine::Run(RuleSet* rules, CaptureTracker* tracker,
                                           Expert* expert, EditLog* log) {
+  RUDOLF_SPAN("session.specialize");
   SpecializeStats stats;
 
   // Captured, visibly legitimate rows of the prefix (snapshot; coverage may
@@ -192,6 +199,9 @@ SpecializeStats SpecializationEngine::Run(RuleSet* rules, CaptureTracker* tracke
       dismissed_rows_.insert(row);
     }
   }
+  RUDOLF_COUNTER_ADD("specialize.proposals", stats.proposals);
+  RUDOLF_COUNTER_ADD("specialize.accepted", stats.accepted + stats.revised);
+  RUDOLF_COUNTER_ADD("specialize.rejected", stats.rejected);
   return stats;
 }
 

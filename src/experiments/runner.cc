@@ -102,6 +102,7 @@ RunResult ExperimentRunner::Run(Method method) {
                  dataset_->options.mislabel_fraction,
                  dataset_->options.false_fraud_fraction, &reveal_rng);
 
+    obs::MetricsSnapshot metrics_before = obs::MetricsRegistry::Default().Snapshot();
     double round_seconds = 0.0;
     SessionStats session_stats;
     switch (method) {
@@ -143,6 +144,8 @@ RunResult ExperimentRunner::Run(Method method) {
     record.rebuild_seconds = session_stats.rebuild_seconds;
     record.extend_seconds = session_stats.extend_seconds;
     record.cache = session_stats.cache;
+    record.metrics_delta =
+        obs::MetricsRegistry::Default().Snapshot().DeltaSince(metrics_before);
     record.future = EvaluateOnRange(*relation, rules, prefix, n);
     result.rounds.push_back(record);
   }

@@ -15,6 +15,7 @@
 #include "core/session.h"
 #include "metrics/quality.h"
 #include "expert/manual_expert.h"
+#include "obs/metrics.h"
 #include "workload/initial_rules.h"
 
 namespace rudolf {
@@ -54,6 +55,10 @@ struct RoundRecord {
   double rebuild_seconds = 0;   ///< wall time building trackers
   double extend_seconds = 0;    ///< wall time inside ExtendPrefix
   ConditionCacheStats cache;    ///< condition-cache counters at round end
+  /// What this round added to the process-wide metrics registry (counter
+  /// deltas plus histogram activity). Process-wide, so only meaningful when
+  /// rounds run one at a time — which the runner guarantees.
+  obs::MetricsSnapshot metrics_delta;
 };
 
 /// Full trace of one method over one dataset.

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace rudolf {
 
 namespace {
@@ -28,6 +31,9 @@ bool EntryLess(CellValue av, uint32_t ar, CellValue bv, uint32_t br) {
 NumericAttributeIndex::NumericAttributeIndex(const std::vector<CellValue>& column,
                                              size_t prefix_rows)
     : prefix_(prefix_rows), main_rows_(prefix_rows), chunk_(ChunkFor(prefix_rows)) {
+  RUDOLF_SPAN("index.numeric.build");
+  RUDOLF_SCOPED_LATENCY("index.numeric.build.seconds");
+  RUDOLF_COUNTER_INC("index.numeric.builds");
   assert(column.size() >= prefix_rows);
   assert(prefix_rows <= std::numeric_limits<uint32_t>::max());
   sorted_.reserve(prefix_);
@@ -64,6 +70,9 @@ void NumericAttributeIndex::AppendRows(const std::vector<CellValue>& column,
   assert(column.size() >= new_prefix);
   assert(new_prefix <= std::numeric_limits<uint32_t>::max());
   if (new_prefix == prefix_) return;
+  RUDOLF_SPAN("index.numeric.append");
+  RUDOLF_COUNTER_INC("index.numeric.appends");
+  RUDOLF_COUNTER_ADD("index.numeric.appended_rows", new_prefix - prefix_);
   size_t old_delta = delta_.size();
   delta_.reserve(old_delta + (new_prefix - prefix_));
   for (size_t r = prefix_; r < new_prefix; ++r) {
@@ -78,6 +87,9 @@ void NumericAttributeIndex::AppendRows(const std::vector<CellValue>& column,
                      delta_.end(), less);
   prefix_ = new_prefix;
   if (delta_.size() > DeltaCompactionThreshold()) {
+    RUDOLF_SPAN("index.numeric.compact");
+    RUDOLF_SCOPED_LATENCY("index.numeric.compact.seconds");
+    RUDOLF_COUNTER_INC("index.numeric.compactions");
     size_t old_main = sorted_.size();
     sorted_.insert(sorted_.end(), delta_.begin(), delta_.end());
     std::inplace_merge(sorted_.begin(),
@@ -135,6 +147,9 @@ CategoricalAttributeIndex::CategoricalAttributeIndex(
     const std::vector<CellValue>& column, size_t prefix_rows,
     const Ontology* ontology)
     : prefix_(prefix_rows), ontology_(ontology) {
+  RUDOLF_SPAN("index.categorical.build");
+  RUDOLF_SCOPED_LATENCY("index.categorical.build.seconds");
+  RUDOLF_COUNTER_INC("index.categorical.builds");
   assert(column.size() >= prefix_rows);
   ontology_->WarmCaches();
   for (size_t r = 0; r < prefix_; ++r) {
@@ -149,6 +164,10 @@ void CategoricalAttributeIndex::AppendRows(const std::vector<CellValue>& column,
                                            size_t new_prefix) {
   assert(new_prefix >= prefix_);
   assert(column.size() >= new_prefix);
+  if (new_prefix == prefix_) return;
+  RUDOLF_SPAN("index.categorical.append");
+  RUDOLF_COUNTER_INC("index.categorical.appends");
+  RUDOLF_COUNTER_ADD("index.categorical.appended_rows", new_prefix - prefix_);
   for (size_t r = prefix_; r < new_prefix; ++r) {
     ConceptId value = static_cast<ConceptId>(column[r]);
     auto [it, inserted] = slot_.emplace(value, postings_.size());

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace rudolf {
 
 ConditionCache::ConditionCache(size_t capacity)
@@ -12,9 +14,11 @@ std::shared_ptr<const Bitset> ConditionCache::Get(const ConditionKey& key) {
   auto it = map_.find(key);
   if (it == map_.end()) {
     ++stats_.misses;
+    RUDOLF_COUNTER_INC("index.cache.misses");
     return nullptr;
   }
   ++stats_.hits;
+  RUDOLF_COUNTER_INC("index.cache.hits");
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->second;
 }
@@ -35,6 +39,7 @@ void ConditionCache::Put(const ConditionKey& key,
     map_.erase(lru_.back().first);
     lru_.pop_back();
     ++stats_.evictions;
+    RUDOLF_COUNTER_INC("index.cache.evictions");
   }
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace rudolf {
 
 ConditionIndex::ConditionIndex(const Relation& relation, size_t prefix_rows,
@@ -57,6 +60,8 @@ std::shared_ptr<const Bitset> ConditionIndex::ConditionBitmap(
   if (std::shared_ptr<const Bitset> hit = cache_.Get(key)) return hit;
   // Extraction happens outside the cache lock; a concurrent extraction of
   // the same key produces the identical bitmap and Put keeps one.
+  RUDOLF_SPAN("index.extract");
+  RUDOLF_COUNTER_INC("index.extractions");
   Bitset extracted;
   if (cond.kind() == AttrKind::kNumeric) {
     assert(numeric_[attr] != nullptr);
@@ -75,6 +80,8 @@ void ConditionIndex::ExtendTo(size_t new_prefix) {
   assert(new_prefix >= prefix_);
   size_t old_prefix = prefix_;
   if (new_prefix != old_prefix) {
+    RUDOLF_SPAN("index.extend_to");
+    RUDOLF_SCOPED_LATENCY("index.extend_to.seconds");
     for (size_t i = 0; i < numeric_.size(); ++i) {
       if (numeric_[i] != nullptr) {
         numeric_[i]->AppendRows(relation_.Column(i), new_prefix);
@@ -118,6 +125,7 @@ void ConditionIndex::ExtendTo(size_t new_prefix) {
 
 bool ConditionIndex::InvalidateIfGrown() {
   if (relation_.NumRows() == snapshot_rows_) return false;
+  RUDOLF_COUNTER_INC("index.invalidations");
   snapshot_rows_ = relation_.NumRows();
   prefix_ = std::min(requested_prefix_, snapshot_rows_);
   std::fill(numeric_.begin(), numeric_.end(), nullptr);

@@ -1,0 +1,241 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace rudolf {
+namespace obs {
+
+namespace {
+
+// Round-robin shard assignment at first touch: spreads any set of live
+// threads evenly over the shards without coordination beyond one counter.
+std::atomic<size_t> g_next_shard{0};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendNumber(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+size_t Counter::ShardIndex() {
+  thread_local const size_t shard =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return shard;
+}
+
+size_t Histogram::BucketFor(double seconds) {
+  if (!(seconds > 0.0)) return 0;
+  double micros = seconds * 1e6;
+  if (micros < 2.0) return 0;
+  // floor(log2(micros)), clamped to the last (unbounded) bucket.
+  int b = static_cast<int>(std::floor(std::log2(micros)));
+  if (b < 0) b = 0;
+  if (b >= static_cast<int>(kBuckets)) b = static_cast<int>(kBuckets) - 1;
+  return static_cast<size_t>(b);
+}
+
+double Histogram::BucketUpperBound(size_t b) {
+  if (b + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(b) + 1) * 1e-6;  // 2^(b+1) µs
+}
+
+void Histogram::Record(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  buckets_[BucketFor(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t nanos = static_cast<uint64_t>(seconds * 1e9);
+  sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  uint64_t seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !max_nanos_.compare_exchange_weak(seen, nanos,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+double HistogramSample::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen > rank) {
+      double ub = Histogram::BucketUpperBound(b);
+      // The unbounded last bucket reports the observed max instead of +inf.
+      return std::isinf(ub) ? max_seconds : ub;
+    }
+  }
+  return max_seconds;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta;
+  for (const CounterSample& now : counters) {
+    uint64_t base = 0;
+    if (const CounterSample* then = earlier.FindCounter(now.name)) {
+      base = then->value;
+    }
+    if (now.value > base) delta.counters.push_back({now.name, now.value - base});
+  }
+  for (const HistogramSample& now : histograms) {
+    const HistogramSample* then = earlier.FindHistogram(now.name);
+    HistogramSample d = now;
+    if (then != nullptr) {
+      d.count = now.count - std::min(now.count, then->count);
+      d.sum_seconds = std::max(0.0, now.sum_seconds - then->sum_seconds);
+      for (size_t b = 0; b < d.buckets.size(); ++b) {
+        d.buckets[b] = now.buckets[b] - std::min(now.buckets[b], then->buckets[b]);
+      }
+    }
+    if (d.count > 0) delta.histograms.push_back(std::move(d));
+  }
+  return delta;
+}
+
+const CounterSample* MetricsSnapshot::FindCounter(const std::string& name) const {
+  for (const CounterSample& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const HistogramSample* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramSample& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToJson(int indent) const {
+  std::string pad(static_cast<size_t>(std::max(indent, 0)), ' ');
+  std::string out = "{\n";
+  out += pad + "  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += (i > 0 ? ",\n" : "\n") + pad + "    \"" + JsonEscape(counters[i].name) +
+           "\": ";
+    AppendNumber(&out, static_cast<double>(counters[i].value));
+  }
+  out += (counters.empty() ? std::string() : "\n" + pad + "  ") + "},\n";
+  out += pad + "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSample& h = histograms[i];
+    out += (i > 0 ? ",\n" : "\n") + pad + "    \"" + JsonEscape(h.name) + "\": ";
+    out += "{\"count\": ";
+    AppendNumber(&out, static_cast<double>(h.count));
+    out += ", \"sum_s\": ";
+    AppendNumber(&out, h.sum_seconds);
+    out += ", \"max_s\": ";
+    AppendNumber(&out, h.max_seconds);
+    out += ", \"p50_s\": ";
+    AppendNumber(&out, h.Quantile(0.50));
+    out += ", \"p95_s\": ";
+    AppendNumber(&out, h.Quantile(0.95));
+    out += "}";
+  }
+  out += (histograms.empty() ? std::string() : "\n" + pad + "  ") + "}\n";
+  out += pad + "}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked: metrics outlive static teardown of arbitrary clients (threads
+  // may still increment counters while other statics destruct).
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    if (const char* path = std::getenv("RUDOLF_METRICS")) {
+      if (path[0] != '\0') {
+        static std::string dump_path;
+        dump_path = path;
+        std::atexit([] { MetricsRegistry::Default().WriteJson(dump_path); });
+      }
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSample h;
+    h.name = name;
+    h.count = hist->Count();
+    h.sum_seconds = hist->SumSeconds();
+    h.max_seconds = hist->MaxSeconds();
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      h.buckets[b] = hist->buckets_[b].load(std::memory_order_relaxed);
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+bool MetricsRegistry::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write metrics to %s\n", path.c_str());
+    return false;
+  }
+  std::string json = Snapshot().ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace obs
+}  // namespace rudolf

@@ -1,0 +1,224 @@
+// Process-wide metrics registry: named lock-free counters and fixed-bucket
+// latency histograms for the engine's hot paths (evaluator, indexes,
+// trackers, proposal phases, thread pool, sessions).
+//
+// Design constraints, in order:
+//   * near-zero overhead at the increment site — a counter increment is one
+//     relaxed atomic add on a per-thread shard (no locks, no false sharing),
+//     a histogram record is two relaxed adds plus a max-CAS;
+//   * TSan-clean under concurrent increments from any number of threads;
+//   * snapshot-able — Snapshot() returns a plain struct that can be diffed
+//     against an earlier snapshot (per-round deltas) and serialized to JSON
+//     for the BENCH_*.json sidecars and the RUDOLF_METRICS dump.
+//
+// Counters and histograms are registered on first use and never destroyed
+// (their addresses are stable for the process lifetime), so call sites cache
+// the pointer in a function-local static:
+//
+//   RUDOLF_COUNTER_INC("eval.rule.indexed");
+//   RUDOLF_SCOPED_LATENCY("tracker.build.seconds");  // records on scope exit
+//
+// `RUDOLF_METRICS=<path>` writes the full registry snapshot as JSON at
+// process exit (see MetricsRegistry::Default).
+
+#ifndef RUDOLF_OBS_METRICS_H_
+#define RUDOLF_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rudolf {
+namespace obs {
+
+/// \brief Monotonic counter, sharded per thread to keep hot increments
+/// contention-free.
+///
+/// Each thread hashes to one of kShards cache-line-sized slots; Value() sums
+/// them. All accesses are relaxed atomics: the counter promises eventual
+/// consistency of the total, not ordering against other memory.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;  // power of two
+
+  void Inc(uint64_t n = 1) {
+    shards_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards. Concurrent increments may or may not be included.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  static size_t ShardIndex();
+
+  std::array<Shard, kShards> shards_{};
+};
+
+/// \brief Fixed-bucket latency histogram over power-of-two microsecond
+/// boundaries.
+///
+/// Bucket b counts samples in [2^b µs, 2^(b+1) µs) (bucket 0 additionally
+/// absorbs sub-microsecond samples; the last bucket is unbounded above), so
+/// 28 buckets cover 1 µs .. ~2.2 minutes with ≤ 2x relative error — plenty
+/// for checking the paper's "at most one second" proposal-latency claim.
+/// Records are relaxed atomics; totals are eventually consistent like
+/// Counter's.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 28;
+
+  /// Bucket index of a duration in seconds.
+  static size_t BucketFor(double seconds);
+
+  /// Inclusive upper bound of bucket `b`, in seconds (+inf for the last).
+  static double BucketUpperBound(size_t b);
+
+  void Record(double seconds);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double SumSeconds() const {
+    return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  double MaxSeconds() const {
+    return static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+
+ private:
+  friend class MetricsRegistry;
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_nanos_{0};
+  std::atomic<uint64_t> max_nanos_{0};
+};
+
+/// One counter's value at snapshot time.
+struct CounterSample {
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// One histogram's state at snapshot time.
+struct HistogramSample {
+  std::string name;
+  uint64_t count = 0;
+  double sum_seconds = 0.0;
+  double max_seconds = 0.0;
+  std::array<uint64_t, Histogram::kBuckets> buckets{};
+
+  /// Approximate quantile (0..1): the upper bound of the bucket holding the
+  /// q-th sample. ≤ 2x the true value by bucket construction; 0 when empty.
+  double Quantile(double q) const;
+};
+
+/// \brief Point-in-time copy of every registered metric, diffable and
+/// JSON-serializable.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;      // sorted by name
+  std::vector<HistogramSample> histograms;  // sorted by name
+
+  /// This snapshot minus `earlier` (names matched; metrics absent from
+  /// `earlier` keep their full value; zero-delta counters are dropped).
+  /// Histogram max is *not* differenced — it reports the max since
+  /// registration, the honest reading for a windowed delta.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
+
+  const CounterSample* FindCounter(const std::string& name) const;
+  const HistogramSample* FindHistogram(const std::string& name) const;
+
+  /// JSON object `{"counters": {...}, "histograms": {...}}`. `indent` is the
+  /// number of spaces prefixed to every inner line, so the object can be
+  /// embedded in an outer document (BenchJson) at any depth.
+  std::string ToJson(int indent = 0) const;
+};
+
+/// \brief Name → metric registry. Lookups lock; the returned pointers are
+/// stable for the process lifetime, so hot call sites resolve once into a
+/// function-local static (RUDOLF_COUNTER_INC / RUDOLF_SCOPED_LATENCY).
+class MetricsRegistry {
+ public:
+  /// The process-wide registry. On first use, if `RUDOLF_METRICS=<path>` is
+  /// set, registers an atexit hook writing the final Snapshot() JSON there.
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Writes Snapshot().ToJson() to `path`; false (with a stderr warning) on
+  /// I/O failure.
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  // std::map: stable addresses via unique_ptr and name-sorted snapshots.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// \brief Records the lifetime of a scope into a Histogram (RAII).
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedLatency() {
+    hist_->Record(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count());
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#ifndef RUDOLF_OBS_CONCAT
+#define RUDOLF_OBS_CONCAT_INNER(a, b) a##b
+#define RUDOLF_OBS_CONCAT(a, b) RUDOLF_OBS_CONCAT_INNER(a, b)
+#endif
+
+/// Bumps the named process-wide counter by 1 (resolving it once per call
+/// site).
+#define RUDOLF_COUNTER_INC(name) RUDOLF_COUNTER_ADD(name, 1)
+
+/// Bumps the named process-wide counter by `n`.
+#define RUDOLF_COUNTER_ADD(name, n)                                      \
+  do {                                                                   \
+    static ::rudolf::obs::Counter* rudolf_obs_counter =                  \
+        ::rudolf::obs::MetricsRegistry::Default().GetCounter(name);      \
+    rudolf_obs_counter->Inc(n);                                          \
+  } while (0)
+
+/// Records the enclosing scope's wall time into the named histogram.
+#define RUDOLF_SCOPED_LATENCY(name)                                     \
+  static ::rudolf::obs::Histogram* RUDOLF_OBS_CONCAT(                   \
+      rudolf_obs_hist_, __LINE__) =                                     \
+      ::rudolf::obs::MetricsRegistry::Default().GetHistogram(name);     \
+  ::rudolf::obs::ScopedLatency RUDOLF_OBS_CONCAT(rudolf_obs_lat_,       \
+                                                 __LINE__)(             \
+      RUDOLF_OBS_CONCAT(rudolf_obs_hist_, __LINE__))
+
+}  // namespace obs
+}  // namespace rudolf
+
+#endif  // RUDOLF_OBS_METRICS_H_

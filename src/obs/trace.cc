@@ -1,0 +1,176 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rudolf {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+// Live-span nesting depth of the current thread.
+thread_local int tls_depth = 0;
+
+// Sequential ids handed to thread buffers as Chrome "tid"s. The real OS ids
+// are irrelevant for the viewer; small stable ints render better.
+uint32_t NextTid() {
+  static std::atomic<uint32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Reads RUDOLF_TRACE once at image load: enables tracing before main so
+// spans in static initializers and early code are captured too.
+struct TraceEnvInit {
+  TraceEnvInit() {
+    if (const char* path = std::getenv("RUDOLF_TRACE")) {
+      if (path[0] != '\0') Tracer::Get().Start(path);
+    }
+  }
+} g_trace_env_init;
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Get() {
+  // Leaked: worker threads may record spans during static destruction.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Start(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    exit_path_ = path;
+  }
+  if (!path.empty() && !atexit_registered_.exchange(true)) {
+    std::atexit([] {
+      Tracer& tracer = Tracer::Get();
+      std::string path;
+      {
+        std::lock_guard<std::mutex> lock(tracer.registry_mu_);
+        path = tracer.exit_path_;
+      }
+      if (!path.empty()) tracer.WriteTo(path);
+    });
+  }
+  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Stop() {
+  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+Tracer::ThreadBuffer* Tracer::LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto b = std::make_shared<ThreadBuffer>();
+    b->tid = NextTid();
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers_.push_back(b);
+    return b;
+  }();
+  return buffer.get();
+}
+
+void Tracer::Append(const char* name, uint64_t ts_ns, uint64_t dur_ns,
+                    int depth) {
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  Event event{name, ts_ns, dur_ns, depth};
+  if (buffer->events.size() < kRingCapacity) {
+    buffer->events.push_back(event);
+  } else {
+    buffer->events[buffer->next % kRingCapacity] = event;
+    ++buffer->dropped;
+  }
+  ++buffer->next;
+}
+
+bool Tracer::WriteTo(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  bool first = true;
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    for (const Event& e : buffer->events) {
+      // Complete ("X") events; ts/dur are microseconds in the trace format.
+      std::fprintf(f,
+                   "%s{\"name\": \"%s\", \"cat\": \"rudolf\", \"ph\": \"X\", "
+                   "\"pid\": 1, \"tid\": %u, \"ts\": %.3f, \"dur\": %.3f, "
+                   "\"args\": {\"depth\": %d}}",
+                   first ? "" : ",\n", e.name, buffer->tid,
+                   static_cast<double>(e.ts_ns) * 1e-3,
+                   static_cast<double>(e.dur_ns) * 1e-3, e.depth);
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  return true;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers_) {
+    std::lock_guard<std::mutex> b(buffer->mu);
+    buffer->events.clear();
+    buffer->next = 0;
+    buffer->dropped = 0;
+  }
+}
+
+size_t Tracer::EventCount() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  size_t total = 0;
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers_) {
+    std::lock_guard<std::mutex> b(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+size_t Tracer::DroppedCount() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  size_t total = 0;
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers_) {
+    std::lock_guard<std::mutex> b(buffer->mu);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+int Tracer::CurrentDepth() { return tls_depth; }
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if (!TracingEnabled()) {
+    name_ = nullptr;
+    return;
+  }
+  name_ = name;
+  depth_ = tls_depth++;
+  begin_ns_ = Tracer::Get().NowNanos();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (name_ == nullptr) return;
+  Tracer& tracer = Tracer::Get();
+  uint64_t end_ns = tracer.NowNanos();
+  --tls_depth;
+  tracer.Append(name_, begin_ns_, end_ns - begin_ns_, depth_);
+}
+
+}  // namespace obs
+}  // namespace rudolf

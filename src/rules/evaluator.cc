@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace rudolf {
 
 namespace {
@@ -40,6 +43,8 @@ void RuleEvaluator::ExtendPrefix(size_t new_prefix) {
   new_prefix = std::min(new_prefix, relation_.NumRows());
   assert(new_prefix >= num_rows_);
   if (new_prefix == num_rows_) return;
+  RUDOLF_SPAN("eval.extend_prefix");
+  RUDOLF_COUNTER_INC("eval.extend_prefix");
   num_rows_ = new_prefix;
   if (index_ != nullptr) index_->ExtendTo(new_prefix);
 }
@@ -63,6 +68,8 @@ void RuleEvaluator::EvalRulesRange(const RuleSet& rules,
                                    size_t hi,
                                    const std::vector<Bitset*>& outs) const {
   assert(ids.size() == outs.size());
+  RUDOLF_SPAN("eval.rules_range");
+  RUDOLF_COUNTER_ADD("eval.rule.range_scans", ids.size());
   if (pool_ != nullptr && ids.size() > 1 && !pool_->OnWorkerThread()) {
     // Serially warm the concept-mask cache so the workers' range scans only
     // read shared state (the range path never touches the condition index).
@@ -175,6 +182,7 @@ Bitset RuleEvaluator::EvalRuleIndexed(const Rule& rule,
 
 Bitset RuleEvaluator::EvalRule(const Rule& rule) const {
   assert(rule.arity() == relation_.schema().arity());
+  RUDOLF_SPAN("eval.rule");
   std::vector<size_t> conditions = NonTrivialConditions(rule);
   Bitset out(num_rows_);
   if (conditions.empty()) {
@@ -186,8 +194,12 @@ Bitset RuleEvaluator::EvalRule(const Rule& rule) const {
     // worker-thread calls (EvalRules fan-out) find them pre-built and take
     // the read-only path, or fall back to the (bit-identical) scan.
     if (pool_ == nullptr || !pool_->OnWorkerThread()) index_->EnsureForRule(rule);
-    if (index_->ReadyForRule(rule)) return EvalRuleIndexed(rule, conditions);
+    if (index_->ReadyForRule(rule)) {
+      RUDOLF_COUNTER_INC("eval.rule.indexed");
+      return EvalRuleIndexed(rule, conditions);
+    }
   }
+  RUDOLF_COUNTER_INC("eval.rule.scan");
   if (pool_ != nullptr && num_rows_ >= kMinParallelRows &&
       !pool_->OnWorkerThread()) {
     EnsureMasks(rule);
@@ -224,6 +236,7 @@ std::vector<Bitset> RuleEvaluator::EvalRules(const RuleSet& rules,
 }
 
 Bitset RuleEvaluator::EvalRuleSet(const RuleSet& rules) const {
+  RUDOLF_SPAN("eval.rule_set");
   std::vector<RuleId> ids = rules.LiveIds();
   Bitset out(num_rows_);
   if (pool_ != nullptr && ids.size() > 1 && !pool_->OnWorkerThread()) {

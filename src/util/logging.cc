@@ -1,10 +1,34 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace rudolf {
 namespace {
-LogLevel g_level = LogLevel::kWarning;
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+// RUDOLF_LOG_LEVEL is applied exactly once, at the first use of any logging
+// entry point; later SetLogLevel calls win over the environment.
+std::once_flag g_env_once;
+
+void ApplyEnvOnce() {
+  std::call_once(g_env_once, [] {
+    if (const char* env = std::getenv("RUDOLF_LOG_LEVEL")) {
+      LogLevel level;
+      if (ParseLogLevel(env, &level)) {
+        g_level.store(level, std::memory_order_relaxed);
+      } else {
+        std::fprintf(stderr,
+                     "[WARN logging] unrecognized RUDOLF_LOG_LEVEL '%s' "
+                     "(want debug|info|warn|error|off)\n",
+                     env);
+      }
+    }
+  });
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,13 +47,39 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  ApplyEnvOnce();
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  ApplyEnvOnce();
+  return g_level.load(std::memory_order_relaxed);
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  if (text == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (text == "info") {
+    *out = LogLevel::kInfo;
+  } else if (text == "warn" || text == "warning") {
+    *out = LogLevel::kWarning;
+  } else if (text == "error") {
+    *out = LogLevel::kError;
+  } else if (text == "off") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_level && g_level != LogLevel::kOff), level_(level) {
+    : enabled_(false), level_(level) {
+  LogLevel min_level = GetLogLevel();
+  enabled_ = level >= min_level && min_level != LogLevel::kOff;
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p; ++p) {

@@ -1,21 +1,34 @@
 // Minimal leveled logging to stderr. Quiet by default so benches and tests
 // stay clean; examples raise the level to narrate sessions.
+//
+// The initial level comes from `RUDOLF_LOG_LEVEL=debug|info|warn|error|off`
+// (parsed once, at the first use of any logging entry point); programmatic
+// SetLogLevel calls override it afterwards. The level itself is an atomic,
+// so concurrent benches adjusting or reading it are TSan-clean.
 
 #ifndef RUDOLF_UTIL_LOGGING_H_
 #define RUDOLF_UTIL_LOGGING_H_
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace rudolf {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
 
-/// Sets the global minimum level that is emitted.
+/// Sets the global minimum level that is emitted (atomic; overrides the
+/// RUDOLF_LOG_LEVEL environment value).
 void SetLogLevel(LogLevel level);
 
-/// Returns the current global minimum level.
+/// Returns the current global minimum level (atomic read; applies the
+/// RUDOLF_LOG_LEVEL environment value on the first use of the subsystem).
 LogLevel GetLogLevel();
+
+/// Parses a RUDOLF_LOG_LEVEL token — debug | info | warn | warning | error |
+/// off (case-sensitive, as documented) — into `out`. False (out untouched)
+/// for anything else.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
 
 namespace internal {
 

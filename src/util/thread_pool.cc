@@ -7,6 +7,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace rudolf {
 
 namespace {
@@ -90,6 +92,8 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
       std::max<size_t>(1, units / (gang * kChunksPerThread));
   const size_t chunk = units_per_chunk * grain;
   const size_t num_chunks = (n + chunk - 1) / chunk;
+  RUDOLF_COUNTER_INC("pool.episodes");
+  RUDOLF_COUNTER_ADD("pool.chunks", num_chunks);
 
   std::atomic<size_t> cursor{0};
   std::exception_ptr first_error = nullptr;

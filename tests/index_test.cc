@@ -11,6 +11,7 @@
 #include "index/attribute_index.h"
 #include "index/condition_cache.h"
 #include "index/condition_index.h"
+#include "obs/metrics.h"
 #include "relation/builder.h"
 #include "rules/evaluator.h"
 #include "rules/parser.h"
@@ -173,6 +174,39 @@ TEST(ConditionIndex, CacheHitsOnRepeatedConditions) {
   ConditionCacheStats stats = index.cache_stats();
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(ConditionIndex, IndexedEvalHitsCacheOnRepeatedConditions) {
+  // Evaluator-level: re-evaluating a rule through the indexed path must be
+  // served from the condition cache, and the registry's cache counters must
+  // observe the same traffic.
+  PaperExample ex = MakePaperExample();
+  RuleEvaluator eval(*ex.relation, ex.relation->NumRows(),
+                     EvalOptions{1, /*use_index=*/true});
+  ASSERT_NE(eval.condition_index(), nullptr);
+  Rule rule =
+      ParseRule(*ex.schema, "amount >= 100 and type <= 'Offline'").ValueOrDie();
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Default().Snapshot();
+  Bitset first = eval.EvalRule(rule);
+  ConditionCacheStats after_first = eval.condition_index()->cache_stats();
+  EXPECT_EQ(after_first.hits, 0u);
+  EXPECT_GE(after_first.misses, 2u);  // one extraction per condition
+
+  Bitset second = eval.EvalRule(rule);
+  EXPECT_EQ(first.ToIndices(), second.ToIndices());
+  ConditionCacheStats after_second = eval.condition_index()->cache_stats();
+  EXPECT_EQ(after_second.misses, after_first.misses);  // no re-extraction
+  EXPECT_GE(after_second.hits, 2u);
+
+  const obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Default().Snapshot().DeltaSince(before);
+  const obs::CounterSample* hits = delta.FindCounter("index.cache.hits");
+  const obs::CounterSample* misses = delta.FindCounter("index.cache.misses");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_NE(misses, nullptr);
+  EXPECT_GE(hits->value, after_second.hits);
+  EXPECT_GE(misses->value, after_second.misses);
 }
 
 TEST(ConditionIndex, InvalidateIfGrownRebindsPrefix) {

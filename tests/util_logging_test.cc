@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <vector>
 
 #include "util/timer.h"
 
@@ -45,6 +46,49 @@ TEST_F(LoggingTest, BelowThresholdSuppressed) {
   RUDOLF_LOG(Debug) << "suppressed";
   RUDOLF_LOG(Info) << "suppressed";
   RUDOLF_LOG(Warning) << "suppressed";
+}
+
+TEST(ParseLogLevel, AcceptsEveryDocumentedSpelling) {
+  LogLevel level;
+  ASSERT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  ASSERT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  ASSERT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  ASSERT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  ASSERT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  ASSERT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+}
+
+TEST(ParseLogLevel, RejectsUnknownSpellings) {
+  LogLevel level = LogLevel::kWarning;
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("DEBUG ", &level));
+  EXPECT_FALSE(ParseLogLevel("2", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);  // untouched on failure
+}
+
+TEST_F(LoggingTest, LevelIsReadableFromConcurrentThreads) {
+  // GetLogLevel/SetLogLevel are atomic; TSan verifies this test is clean.
+  SetLogLevel(LogLevel::kWarning);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 1000; ++i) {
+        LogLevel l = GetLogLevel();
+        if (l == LogLevel::kOff) break;
+      }
+    });
+  }
+  for (int i = 0; i < 100; ++i) {
+    SetLogLevel(i % 2 == 0 ? LogLevel::kInfo : LogLevel::kWarning);
+  }
+  for (std::thread& t : threads) t.join();
 }
 
 TEST(Timer, MeasuresElapsedTime) {
