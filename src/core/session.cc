@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rules/simplify.h"
+#include "serving/serving_engine.h"
 
 namespace rudolf {
 
@@ -89,6 +90,7 @@ SessionStats RefinementSession::Refine(size_t prefix_rows, RuleSet* rules,
   SessionStats stats;
   size_t prefix = std::min(prefix_rows, relation_.NumRows());
   size_t edits_before = log->size();
+  size_t edits_at_last_publish = edits_before;
 
   for (int round = 0; round < options_.max_rounds; ++round) {
     RUDOLF_SPAN("session.round");
@@ -104,6 +106,13 @@ SessionStats RefinementSession::Refine(size_t prefix_rows, RuleSet* rules,
     // The engines mirrored every rule edit into the tracker, so the two are
     // in sync again — refresh the snapshot the next acquire compares with.
     SnapshotRules(*rules);
+
+    // Round boundary = deployment boundary: the accepted edits go live on
+    // the serving path while later rounds keep refining.
+    if (options_.serving != nullptr && log->size() != edits_at_round_start) {
+      options_.serving->Publish(*rules);
+      edits_at_last_publish = log->size();
+    }
 
     ++stats.rounds;
     if (log->size() == edits_at_round_start) break;  // fixpoint
@@ -123,6 +132,11 @@ SessionStats RefinementSession::Refine(size_t prefix_rows, RuleSet* rules,
     // the mismatch and rebuilds; if it was a no-op, the snapshot still
     // matches and the tracker stays live.
     SimplifyRuleSet(relation_.schema(), rules, log);
+  }
+  // Retirement/simplify edits landed after the last round publish; ship the
+  // final rule set so serving never answers against a superseded epoch.
+  if (options_.serving != nullptr && log->size() != edits_at_last_publish) {
+    options_.serving->Publish(*rules);
   }
   if (tracker_ != nullptr && tracker_->evaluator().condition_index() != nullptr) {
     stats.cache = tracker_->evaluator().condition_index()->cache_stats();

@@ -16,6 +16,8 @@
 
 namespace rudolf {
 
+class ServingEngine;
+
 /// Configuration of a refinement session.
 struct SessionOptions {
   /// Evaluation parallelism for the session: used for every
@@ -48,6 +50,12 @@ struct SessionOptions {
   /// retirement pruning, caller edits between Refine calls) or the prefix
   /// shrank.
   bool persistent_tracker = true;
+  /// Online serving hook: when set, every round that changed the rule set
+  /// compiles and atomically publishes the new set here (and Refine
+  /// publishes the final post-simplify set before returning), so serving
+  /// threads answer against the freshest refined epoch while the session
+  /// keeps running. Not owned; must outlive the session's Refine calls.
+  ServingEngine* serving = nullptr;
 };
 
 /// Aggregate outcome of a session.

@@ -1,0 +1,165 @@
+// The online serving artifact: one rule set, compiled into per-attribute
+// probe structures so a single incoming transaction is decided against all
+// R rules in ~k attribute probes instead of an R×arity scan.
+//
+// Compilation inverts the rule set per attribute (ROADMAP item 1, the ARMS
+// production setting):
+//   * numeric attributes: the non-trivial interval conditions are flattened
+//     into elementary segments between sorted interval endpoints, each
+//     segment carrying the rule slots whose interval covers it — a probe is
+//     one binary search plus a walk of the stabbed slots;
+//   * categorical attributes: a dense postings table keyed by stored concept
+//     id — postings[v] lists the rule slots whose condition concept contains
+//     v, precomputed from the ontology so a probe never touches the
+//     ontology (and is therefore lock- and cache-warm-free);
+//   * saturation counters: each live rule knows its number of non-trivial
+//     conditions; a probe hit bumps the rule's per-decision counter and the
+//     rule fires exactly when the counter saturates. Rules with no
+//     non-trivial conditions fire on every tuple; rules with an empty
+//     interval are dead and are not compiled at all.
+//
+// Decisions are bit-identical to the batch path: a rule fires on tuple t iff
+// Rule::MatchesTuple(schema, t) — the serving_equivalence_test harness gates
+// this on randomized rule sets and streams.
+//
+// A CompiledRuleSet is immutable after Compile and safe to probe from any
+// number of threads concurrently; per-decision mutable state lives in the
+// caller's DecisionScratch (one per thread). Hot-swap of the active artifact
+// is the ServingEngine's job (see serving_engine.h).
+
+#ifndef RUDOLF_SERVING_COMPILED_RULE_SET_H_
+#define RUDOLF_SERVING_COMPILED_RULE_SET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "relation/relation.h"
+#include "relation/schema.h"
+#include "rules/rule_set.h"
+
+namespace rudolf {
+
+/// \brief The outcome of serving one transaction.
+struct Decision {
+  /// Epoch of the compiled artifact that made the decision (0 = the empty
+  /// pre-publish artifact).
+  uint64_t epoch = 0;
+  /// True iff some live rule captured the tuple — Φ(t), the fraud flag.
+  bool flagged = false;
+  /// Ids of the capturing live rules, ascending — exactly
+  /// RuleSet::CapturingRules(schema, t) of the compiled set.
+  std::vector<RuleId> fired;
+};
+
+/// \brief Per-thread mutable state of the saturation-counter probe.
+///
+/// Counters are stamped instead of cleared: Begin() bumps a per-scratch
+/// decision stamp, and a counter whose stamp is stale reads as zero — so a
+/// decision costs O(probe hits), not O(rules). One scratch must never be
+/// used by two threads at once; the ServingEngine keeps one per thread.
+class DecisionScratch {
+ public:
+  /// Opens a new decision over `slots` rule slots. Grows the arrays on
+  /// demand and survives artifact swaps of any size (stale stamps from
+  /// earlier decisions or other artifacts read as zero).
+  void Begin(size_t slots) {
+    if (slots > stamp_.size()) {
+      stamp_.resize(slots, 0);
+      count_.resize(slots, 0);
+    }
+    if (++current_ == 0) {  // stamp wrap: reset so 0 stays "never touched"
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      current_ = 1;
+    }
+  }
+
+  /// Bumps slot `s`'s counter, returning its post-increment value.
+  uint32_t Bump(uint32_t s) {
+    if (stamp_[s] != current_) {
+      stamp_[s] = current_;
+      count_[s] = 0;
+    }
+    return ++count_[s];
+  }
+
+ private:
+  std::vector<uint32_t> stamp_;
+  std::vector<uint32_t> count_;
+  uint32_t current_ = 0;
+};
+
+/// \brief An immutable rule set compiled for per-transaction decisions.
+class CompiledRuleSet {
+ public:
+  /// Compile-time shape counters (for tests, benches and sidecars).
+  struct Stats {
+    size_t live_rules = 0;      ///< rules compiled into slots
+    size_t always_fire = 0;     ///< live rules with no non-trivial condition
+    size_t dead_rules = 0;      ///< live rules with an empty interval
+    size_t numeric_segments = 0;     ///< elementary segments over all attrs
+    size_t posting_entries = 0;      ///< (value, slot) categorical entries
+    size_t segment_entries = 0;      ///< (segment, slot) numeric entries
+  };
+
+  /// Compiles the live rules of `rules` against `schema`. Ontology caches
+  /// are warmed during compilation; the artifact never reads them again.
+  /// O(per attribute: conditions × segments + ontology size × conditions).
+  static std::shared_ptr<const CompiledRuleSet> Compile(
+      std::shared_ptr<const Schema> schema, const RuleSet& rules,
+      uint64_t epoch);
+
+  /// The empty artifact (no rules, nothing fires) for a schema — what a
+  /// ServingEngine serves before the first publish.
+  static std::shared_ptr<const CompiledRuleSet> Empty(
+      std::shared_ptr<const Schema> schema);
+
+  uint64_t epoch() const { return epoch_; }
+  const Schema& schema() const { return *schema_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Number of saturation-counter slots (live, non-dead, non-always rules).
+  size_t num_slots() const { return required_.size(); }
+
+  /// Decides one transaction. `tuple` must have the schema's arity with
+  /// valid cell values (categorical cells outside the compiled ontology
+  /// universe match no condition). Thread-safe; `scratch` must be private
+  /// to the calling thread. `out->fired` is cleared and refilled.
+  void Decide(const Tuple& tuple, DecisionScratch* scratch, Decision* out) const;
+
+ private:
+  CompiledRuleSet() = default;
+
+  // One numeric attribute's flattened interval table. Values below
+  // bounds.front() stab nothing; segment s covers [bounds[s], bounds[s+1])
+  // (the last segment is unbounded above). CSR layout: the slots stabbed by
+  // segment s are seg_slots[seg_begin[s] .. seg_begin[s+1]).
+  struct NumericPlan {
+    uint32_t attribute = 0;
+    std::vector<int64_t> bounds;
+    std::vector<uint32_t> seg_begin;
+    std::vector<uint32_t> seg_slots;
+  };
+
+  // One categorical attribute's postings, dense over the ontology's concept
+  // universe: the slots matched by stored value v are
+  // value_slots[value_begin[v] .. value_begin[v+1]).
+  struct CategoricalPlan {
+    uint32_t attribute = 0;
+    std::vector<uint32_t> value_begin;
+    std::vector<uint32_t> value_slots;
+  };
+
+  std::shared_ptr<const Schema> schema_;
+  uint64_t epoch_ = 0;
+  Stats stats_;
+  std::vector<NumericPlan> numeric_;
+  std::vector<CategoricalPlan> categorical_;
+  std::vector<uint32_t> required_;   // slot -> #non-trivial conditions (>0)
+  std::vector<RuleId> slot_rule_;    // slot -> live RuleId
+  std::vector<RuleId> always_fire_;  // live RuleIds firing on every tuple
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_SERVING_COMPILED_RULE_SET_H_

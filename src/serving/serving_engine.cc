@@ -1,0 +1,36 @@
+#include "serving/serving_engine.h"
+
+#include <cassert>
+
+#include "obs/metrics.h"
+
+namespace rudolf {
+
+ServingEngine::ServingEngine(std::shared_ptr<const Schema> schema)
+    : schema_(std::move(schema)) {
+  assert(schema_ != nullptr);
+  current_.store(CompiledRuleSet::Empty(schema_), std::memory_order_release);
+}
+
+std::shared_ptr<const CompiledRuleSet> ServingEngine::Publish(
+    const RuleSet& rules) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  std::shared_ptr<const CompiledRuleSet> compiled =
+      CompiledRuleSet::Compile(schema_, rules, next_epoch_++);
+  current_.store(compiled, std::memory_order_release);
+  RUDOLF_COUNTER_INC("serving.publishes");
+  return compiled;
+}
+
+void ServingEngine::Decide(const Tuple& tuple, Decision* out) const {
+  RUDOLF_SCOPED_LATENCY("serving.decide.seconds");
+  // One scratch per thread, shared across engines and epochs: stamped
+  // counters make stale state read as zero (see DecisionScratch::Begin).
+  static thread_local DecisionScratch scratch;
+  std::shared_ptr<const CompiledRuleSet> pinned = Snapshot();
+  pinned->Decide(tuple, &scratch, out);
+  RUDOLF_COUNTER_INC("serving.decisions");
+  if (out->flagged) RUDOLF_COUNTER_INC("serving.flagged");
+}
+
+}  // namespace rudolf

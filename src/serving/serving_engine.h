@@ -1,0 +1,74 @@
+// The per-transaction serving hot path with epoch-style atomic hot-swap.
+//
+// A ServingEngine holds the currently published CompiledRuleSet behind a
+// std::atomic<std::shared_ptr<...>>. A decision pins one snapshot (a single
+// atomic shared_ptr load), probes it, and releases it — so a concurrent
+// Publish never tears a decision: every decision is attributable to exactly
+// one published epoch, and an artifact is destroyed only after the last
+// decision holding it returns (shared_ptr reclamation, the RCU grace
+// period). Publishes are serialized by a writer mutex so epoch ids are
+// assigned and become visible in monotonic order; readers never block.
+//
+// This is the inverse direction of the batch evaluator: a RefinementSession
+// refines the rule set over the stored prefix, then publishes here
+// (SessionOptions::serving) while serving threads keep deciding the live
+// stream against the previous epoch — the ARMS-style managed production
+// setting of ROADMAP item 1.
+
+#ifndef RUDOLF_SERVING_SERVING_ENGINE_H_
+#define RUDOLF_SERVING_SERVING_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "serving/compiled_rule_set.h"
+
+namespace rudolf {
+
+/// \brief Serves one transaction stream against the published rule set.
+class ServingEngine {
+ public:
+  /// Starts serving the empty epoch-0 artifact (nothing fires) until the
+  /// first Publish.
+  explicit ServingEngine(std::shared_ptr<const Schema> schema);
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Compiles the live rules and atomically publishes the artifact as the
+  /// next epoch. In-flight decisions finish against the epoch they pinned;
+  /// new decisions see the new one. Returns the published artifact.
+  std::shared_ptr<const CompiledRuleSet> Publish(const RuleSet& rules);
+
+  /// The currently published artifact (one atomic load). The returned
+  /// snapshot stays valid — and its Decide stays correct — for as long as
+  /// the caller holds it, regardless of later publishes.
+  std::shared_ptr<const CompiledRuleSet> Snapshot() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Epoch of the most recently published artifact (0 before any Publish).
+  uint64_t current_epoch() const { return Snapshot()->epoch(); }
+
+  /// Decides one transaction against the current epoch, reusing `out`'s
+  /// storage. Thread-safe; scratch state is per-thread internally.
+  void Decide(const Tuple& tuple, Decision* out) const;
+
+  /// Convenience allocating overload.
+  Decision Decide(const Tuple& tuple) const {
+    Decision out;
+    Decide(tuple, &out);
+    return out;
+  }
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::mutex publish_mu_;  // serializes epoch assignment + store
+  uint64_t next_epoch_ = 1;
+  std::atomic<std::shared_ptr<const CompiledRuleSet>> current_;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_SERVING_SERVING_ENGINE_H_

@@ -157,6 +157,56 @@ TEST(ConditionIndexExtend, KeepsCacheAndMatchesRebuild) {
   EXPECT_GT(after.hits, before.hits);
 }
 
+// Range-boundary coverage for the delta pass: EvalRulesRange at lo = 0 and
+// hi = relation size (plus empty ranges at both ends) must agree with the
+// full indexed and scan EvalRule bitmaps restricted to the range — the
+// interior-range cases below only exercise 0 < lo < hi < size.
+TEST(EvalRulesRangeBoundaries, IndexedAndScanAgreeAtZeroAndRelationSize) {
+  Scenario s = TinyScenario();
+  s.options.num_transactions = 5000;
+  Dataset ds = GenerateDataset(s.options);
+  const Relation& rel = *ds.relation;
+  const size_t n = rel.NumRows();
+  Rng rng(57);
+
+  RuleSet rules;
+  for (int i = 0; i < 5; ++i) rules.AddRule(RandomRule(rel.schema(), &rng));
+  const std::vector<RuleId> ids = rules.LiveIds();
+
+  RuleEvaluator scan(rel, n, EvalOptions{1, false});
+  RuleEvaluator indexed(rel, n, EvalOptions{1, true});
+  RuleEvaluator parallel_eval(rel, n, EvalOptions{4, true});
+
+  // Full bitmaps from both whole-prefix paths (already gated equivalent).
+  std::vector<Bitset> full_scan = scan.EvalRules(rules, ids);
+  std::vector<Bitset> full_indexed = indexed.EvalRules(rules, ids);
+  for (size_t k = 0; k < ids.size(); ++k) {
+    ASSERT_EQ(full_scan[k], full_indexed[k]) << "rule " << ids[k];
+  }
+
+  const std::pair<size_t, size_t> ranges[] = {
+      {0, n},         // the whole prefix through the range path
+      {0, n / 3},     // lo at the 0 boundary
+      {n / 3, n},     // hi at the relation-size boundary
+      {0, 0},         // empty at the low edge
+      {n, n},         // empty at the high edge
+  };
+  for (const RuleEvaluator* ev : {&scan, &indexed, &parallel_eval}) {
+    for (const auto& [lo, hi] : ranges) {
+      std::vector<Bitset> outs(ids.size(), Bitset(n));
+      std::vector<Bitset*> out_ptrs;
+      for (Bitset& b : outs) out_ptrs.push_back(&b);
+      ev->EvalRulesRange(rules, ids, lo, hi, out_ptrs);
+      for (size_t k = 0; k < ids.size(); ++k) {
+        Bitset expected(n);
+        expected.OrRange(full_scan[k], lo, hi);
+        ASSERT_EQ(outs[k], expected)
+            << "rule " << ids[k] << " range [" << lo << ", " << hi << ")";
+      }
+    }
+  }
+}
+
 // Randomized interleavings of prefix growth, in-prefix relabels, and rule
 // edits: incrementally maintained trackers (serial scan, serial indexed,
 // 4- and 8-thread indexed) must stay bit-identical to a tracker freshly

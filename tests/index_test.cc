@@ -133,6 +133,64 @@ TEST(ConditionCache, HitsMissesAndLruEviction) {
   EXPECT_EQ(cache.stats().hits, 0u);
 }
 
+// Eviction order under concurrent hits: threads hammer the "hot" half of a
+// full cache with Get (and Put-refreshes, which must also count as use);
+// afterwards insertions must evict exactly the untouched "cold" keys, in
+// their original insertion order, before any hot key is considered. Misses
+// must not perturb recency. Runs under the TSan preset to race-check the
+// locked LRU splices.
+TEST(ConditionCacheLru, EvictionOrderSurvivesConcurrentHits) {
+  constexpr size_t kCapacity = 8;
+  constexpr size_t kHot = 4;  // keys 0..3 hot, 4..7 cold
+  ConditionCache cache(kCapacity);
+  auto key = [](int64_t i) {
+    return ConditionKey::For(0, Condition::MakeNumeric({i, i}));
+  };
+  auto bitmap = [] { return std::make_shared<const Bitset>(8); };
+
+  for (size_t i = 0; i < kCapacity; ++i) {
+    cache.Put(key(static_cast<int64_t>(i)), bitmap());
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int iter = 0; iter < 2000; ++iter) {
+        int64_t k = (iter + t) % static_cast<int64_t>(kHot);
+        if ((iter & 31) == 7) {
+          cache.Put(key(k), bitmap());  // refresh via the duplicate-Put path
+        } else {
+          EXPECT_NE(cache.Get(key(k)), nullptr) << "hot key " << k;
+        }
+        // A miss probe must not perturb the recency order.
+        EXPECT_EQ(cache.Get(key(1000 + k)), nullptr);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(cache.size(), kCapacity);
+
+  // Every hot key was used after every cold key, so evictions must consume
+  // the cold keys in insertion order (4, 5, 6, 7). Only probe keys expected
+  // to be ABSENT between insertions — misses don't touch recency, whereas a
+  // hit would promote the probed key and corrupt the order under test. Each
+  // Put evicts exactly one entry, so "victim j gone right after Put j, for
+  // all j" pins the full eviction sequence.
+  size_t evictions_before = cache.stats().evictions;
+  for (size_t i = 0; i < kCapacity - kHot; ++i) {
+    cache.Put(key(100 + static_cast<int64_t>(i)), bitmap());
+    for (size_t gone = 0; gone <= i; ++gone) {
+      EXPECT_EQ(cache.Get(key(static_cast<int64_t>(kHot + gone))), nullptr)
+          << "cold key " << (kHot + gone) << " evicted out of order";
+    }
+  }
+  EXPECT_EQ(cache.stats().evictions, evictions_before + (kCapacity - kHot));
+  for (size_t i = 0; i < kHot; ++i) {
+    EXPECT_NE(cache.Get(key(static_cast<int64_t>(i))), nullptr)
+        << "hot key " << i << " must survive all cold evictions";
+  }
+}
+
 TEST(ConditionCache, KeysDistinguishAttributeKindAndBounds) {
   Condition iv = Condition::MakeNumeric({3, 7});
   EXPECT_NE(ConditionKeyHash{}(ConditionKey::For(0, iv)),
