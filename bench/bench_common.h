@@ -46,9 +46,11 @@ inline void ShapeCheck(const char* what, bool holds) {
 /// Collects named numeric metrics (wall times, counts, ratios) and writes
 /// them as `BENCH_<name>.json` so scripted smoke runs and perf-trajectory
 /// tooling can diff runs without scraping the human tables. The output
-/// directory is `$RUDOLF_BENCH_JSON_DIR` (falling back to the CWD). Keys
-/// and the bench name are code-controlled identifiers — no JSON escaping
-/// is performed.
+/// directory is `$RUDOLF_BENCH_JSON_DIR`, falling back to the repo's bench/
+/// directory baked in at configure time (RUDOLF_BENCH_JSON_DEFAULT_DIR), and
+/// only then to the CWD — so ad-hoc runs never scatter sidecars around the
+/// tree. Keys and the bench name are code-controlled identifiers — no JSON
+/// escaping is performed.
 class BenchJson {
  public:
   BenchJson(std::string name, size_t rows) : name_(std::move(name)), rows_(rows) {}
@@ -60,7 +62,11 @@ class BenchJson {
   /// Writes the sidecar; on I/O failure warns on stderr and returns false
   /// (a bench never fails because of its sidecar).
   bool Write() const {
+#ifdef RUDOLF_BENCH_JSON_DEFAULT_DIR
+    std::string dir = RUDOLF_BENCH_JSON_DEFAULT_DIR;
+#else
     std::string dir = ".";
+#endif
     if (const char* env = std::getenv("RUDOLF_BENCH_JSON_DIR")) dir = env;
     std::string path = dir + "/BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "simd/simd.h"
 
 namespace rudolf {
 
@@ -101,9 +102,11 @@ const Bitset& CaptureTracker::RuleCapture(RuleId id) const {
 
 Bitset CaptureTracker::UnionCapture() const {
   Bitset out(prefix_);
-  for (size_t r = 0; r < prefix_; ++r) {
-    if (cover_count_[r] > 0) out.Set(r);
-  }
+  if (prefix_ == 0) return out;
+  // Collapse the cover counts into word-packed bits in one kernel pass.
+  std::vector<uint64_t> words(Bitset::WordsFor(prefix_));
+  simd::NonZeroMaskU32(cover_count_.data(), prefix_, words.data());
+  out.OrWords(words.data(), 0, words.size());
   return out;
 }
 

@@ -4,8 +4,10 @@
 #include <cassert>
 #include <limits>
 
+#include "index/cached_bitmap.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "simd/column_scan.h"
 
 namespace rudolf {
 
@@ -143,6 +145,16 @@ Bitset NumericAttributeIndex::Extract(const Interval& iv) const {
   return out;
 }
 
+namespace {
+
+// Posting-build strategy cut-offs: up to this many distinct values, one
+// vectorized equality pass per value beats the per-row hash-and-set loop —
+// and only once the prefix is long enough for the passes to amortize.
+constexpr size_t kEqPassMaxPostings = 16;
+constexpr size_t kEqPassMinRows = 4096;
+
+}  // namespace
+
 CategoricalAttributeIndex::CategoricalAttributeIndex(
     const std::vector<CellValue>& column, size_t prefix_rows,
     const Ontology* ontology)
@@ -152,12 +164,58 @@ CategoricalAttributeIndex::CategoricalAttributeIndex(
   RUDOLF_COUNTER_INC("index.categorical.builds");
   assert(column.size() >= prefix_rows);
   ontology_->WarmCaches();
+  // Pass 1: distinct stored values, in first-seen order.
   for (size_t r = 0; r < prefix_; ++r) {
     ConceptId value = static_cast<ConceptId>(column[r]);
     auto [it, inserted] = slot_.emplace(value, postings_.size());
-    if (inserted) postings_.emplace_back(value, Bitset(prefix_));
-    postings_[it->second].second.Set(r);
+    if (inserted) {
+      postings_.emplace_back();
+      postings_.back().value = value;
+    }
   }
+  // Pass 2: posting bitmaps. Small cardinalities stream the column through
+  // the equality kernel once per value (every row belongs to exactly one
+  // posting, so the union of passes is exactly the row loop's bits); the
+  // rest take the per-row loop.
+  if (postings_.size() <= kEqPassMaxPostings && prefix_ >= kEqPassMinRows) {
+    for (Posting& p : postings_) {
+      p.dense = Bitset(prefix_);
+      simd::OrEqMatches(column.data(), 0, prefix_,
+                        static_cast<CellValue>(p.value), &p.dense);
+    }
+  } else {
+    for (Posting& p : postings_) p.dense = Bitset(prefix_);
+    for (size_t r = 0; r < prefix_; ++r) {
+      ConceptId value = static_cast<ConceptId>(column[r]);
+      postings_[slot_.find(value)->second].dense.Set(r);
+    }
+  }
+  CompactPostings();
+}
+
+void CategoricalAttributeIndex::CompactPostings() {
+  if (!ResolveCompressBitmaps()) return;
+  for (Posting& p : postings_) {
+    if (p.packed) continue;
+    CompressedBitmap packed(p.dense);
+    size_t dense_bytes = CompressedBitmap::DenseBytes(p.dense.size());
+    size_t packed_bytes = packed.MemoryBytes();
+    if (packed_bytes * 2 < dense_bytes) {
+      RUDOLF_COUNTER_ADD("bitmap.compressed.chunks",
+                         static_cast<uint64_t>(packed.NumChunks()));
+      RUDOLF_COUNTER_ADD("bitmap.compressed.bytes_saved",
+                         static_cast<uint64_t>(dense_bytes - packed_bytes));
+      p.bits = std::move(packed);
+      p.packed = true;
+      p.dense = Bitset();
+    }
+  }
+}
+
+size_t CategoricalAttributeIndex::packed_postings() const {
+  size_t n = 0;
+  for (const Posting& p : postings_) n += p.packed ? 1 : 0;
+  return n;
 }
 
 void CategoricalAttributeIndex::AppendRows(const std::vector<CellValue>& column,
@@ -171,19 +229,33 @@ void CategoricalAttributeIndex::AppendRows(const std::vector<CellValue>& column,
   for (size_t r = prefix_; r < new_prefix; ++r) {
     ConceptId value = static_cast<ConceptId>(column[r]);
     auto [it, inserted] = slot_.emplace(value, postings_.size());
-    if (inserted) postings_.emplace_back(value, Bitset(new_prefix));
-    Bitset& rows = postings_[it->second].second;
-    if (rows.size() < new_prefix) rows.Resize(new_prefix);
-    rows.Set(r);
+    if (inserted) {
+      postings_.emplace_back();
+      postings_.back().value = value;
+      postings_.back().dense = Bitset(new_prefix);
+    }
+    Posting& p = postings_[it->second];
+    if (p.packed) {
+      // Batch rows arrive in ascending order and beyond the posting's old
+      // universe, so the compressed form absorbs them as appends.
+      p.bits.Append(r);
+    } else {
+      if (p.dense.size() < new_prefix) p.dense.Resize(new_prefix);
+      p.dense.Set(r);
+    }
   }
   prefix_ = new_prefix;
 }
 
 Bitset CategoricalAttributeIndex::Extract(ConceptId concept_id) const {
   Bitset out(prefix_);
-  for (const auto& [value, rows] : postings_) {
-    if (ontology_->IsValid(value) && ontology_->Contains(concept_id, value)) {
-      out.OrZeroExtended(rows);
+  for (const Posting& p : postings_) {
+    if (ontology_->IsValid(p.value) && ontology_->Contains(concept_id, p.value)) {
+      if (p.packed) {
+        p.bits.OrInto(&out);
+      } else {
+        out.OrZeroExtended(p.dense);
+      }
     }
   }
   return out;

@@ -25,6 +25,7 @@
 #include "relation/value.h"
 #include "rules/condition.h"
 #include "util/bitset.h"
+#include "util/compressed_bitmap.h"
 
 namespace rudolf {
 
@@ -83,9 +84,17 @@ class NumericAttributeIndex {
 /// \brief Posting bitmaps per distinct stored value of one categorical
 /// column prefix.
 ///
+/// Small-cardinality columns build through the vectorized equality kernel —
+/// one word-packed column pass per distinct value — instead of a per-row
+/// hash-and-set loop; wider cardinalities keep the row loop. After the
+/// build, sparse postings move to compressed (roaring-style) storage, which
+/// at 10M rows keeps a high-cardinality column's postings near the
+/// cardinality of the column rather than values × 1.25MB.
+///
 /// Streaming rows extend postings in place: AppendRows resizes only the
-/// postings whose value occurs in the batch; untouched postings stay bound
-/// to their older, shorter universe and Extract zero-extends them.
+/// postings whose value occurs in the batch (compressed postings absorb the
+/// ascending rows via O(1) appends); untouched postings stay bound to their
+/// older, shorter universe and Extract zero-extends them.
 class CategoricalAttributeIndex {
  public:
   /// Indexes the first `prefix_rows` entries of `column`. The ontology must
@@ -103,12 +112,30 @@ class CategoricalAttributeIndex {
   /// (reflexive containment), exactly as the scan's concept mask would.
   Bitset Extract(ConceptId concept_id) const;
 
+  size_t num_postings() const { return postings_.size(); }
+  /// Postings currently stored compressed — for tests/benches.
+  size_t packed_postings() const;
+
  private:
+  // One distinct stored value's rows. Dense coming out of the build or when
+  // compression would not pay; CompactPostings moves sparse ones into
+  // compressed form (exactly one of dense/bits is meaningful per `packed`).
+  struct Posting {
+    ConceptId value = 0;
+    bool packed = false;
+    Bitset dense;
+    CompressedBitmap bits;
+  };
+
+  // Re-decides dense vs compressed storage for every dense posting (same
+  // halve-the-footprint rule as CachedBitmap::Make).
+  void CompactPostings();
+
   size_t prefix_;
   const Ontology* ontology_;
   // One posting per distinct stored value, in first-seen order. A posting's
   // bitmap is sized to the prefix as of the last batch that touched it.
-  std::vector<std::pair<ConceptId, Bitset>> postings_;
+  std::vector<Posting> postings_;
   std::unordered_map<ConceptId, size_t> slot_;  // value -> postings_ index
 };
 

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "index/cached_bitmap.h"
 #include "rules/condition.h"
 #include "util/bitset.h"
 
@@ -72,11 +73,11 @@ class ConditionCache {
   explicit ConditionCache(size_t capacity = kDefaultCapacity);
 
   /// The cached bitmap, refreshed as most-recently used; null on miss.
-  std::shared_ptr<const Bitset> Get(const ConditionKey& key);
+  std::shared_ptr<const CachedBitmap> Get(const ConditionKey& key);
 
   /// Inserts (or refreshes) an entry, evicting least-recently-used entries
   /// beyond capacity.
-  void Put(const ConditionKey& key, std::shared_ptr<const Bitset> bitmap);
+  void Put(const ConditionKey& key, std::shared_ptr<const CachedBitmap> bitmap);
 
   /// Rewrites every cached bitmap via `extend(key, old)` without touching
   /// recency order or counters — the append path of ConditionIndex, which
@@ -85,8 +86,8 @@ class ConditionCache {
   /// holding the old shared_ptr are unaffected. Runs under the cache lock;
   /// serial coordinating-thread use only.
   void ExtendEntries(
-      const std::function<std::shared_ptr<const Bitset>(
-          const ConditionKey&, const Bitset&)>& extend);
+      const std::function<std::shared_ptr<const CachedBitmap>(
+          const ConditionKey&, const CachedBitmap&)>& extend);
 
   /// Drops every entry (stats are reset too).
   void Clear();
@@ -96,7 +97,8 @@ class ConditionCache {
   ConditionCacheStats stats() const;
 
  private:
-  using LruList = std::list<std::pair<ConditionKey, std::shared_ptr<const Bitset>>>;
+  using LruList =
+      std::list<std::pair<ConditionKey, std::shared_ptr<const CachedBitmap>>>;
 
   mutable std::mutex mu_;
   size_t capacity_;

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "simd/column_scan.h"
 
 namespace rudolf {
 
@@ -54,10 +55,10 @@ bool ConditionIndex::ReadyForRule(const Rule& rule) const {
   return true;
 }
 
-std::shared_ptr<const Bitset> ConditionIndex::ConditionBitmap(
+std::shared_ptr<const CachedBitmap> ConditionIndex::ConditionBitmap(
     size_t attr, const Condition& cond) {
   ConditionKey key = ConditionKey::For(attr, cond);
-  if (std::shared_ptr<const Bitset> hit = cache_.Get(key)) return hit;
+  if (std::shared_ptr<const CachedBitmap> hit = cache_.Get(key)) return hit;
   // Extraction happens outside the cache lock; a concurrent extraction of
   // the same key produces the identical bitmap and Put keeps one.
   RUDOLF_SPAN("index.extract");
@@ -70,7 +71,8 @@ std::shared_ptr<const Bitset> ConditionIndex::ConditionBitmap(
     assert(categorical_[attr] != nullptr);
     extracted = categorical_[attr]->Extract(cond.concept_id());
   }
-  auto bitmap = std::make_shared<const Bitset>(std::move(extracted));
+  std::shared_ptr<const CachedBitmap> bitmap =
+      CachedBitmap::Make(std::move(extracted));
   cache_.Put(key, bitmap);
   return bitmap;
 }
@@ -90,33 +92,37 @@ void ConditionIndex::ExtendTo(size_t new_prefix) {
         categorical_[i]->AppendRows(relation_.Column(i), new_prefix);
       }
     }
-    // Cached bitmaps: copy, grow, and set the matches of the new row range
-    // by a direct column scan — O(batch) per entry, the exact bits a fresh
-    // extraction over the extended prefix would produce. Entries are
-    // replaced (not mutated) so outstanding readers keep their snapshot.
+    // Cached bitmaps: materialize, grow, and set the matches of the new row
+    // range by a vectorized column scan — O(batch) per entry, the exact bits
+    // a fresh extraction over the extended prefix would produce. Entries are
+    // replaced (not mutated) so outstanding readers keep their snapshot, and
+    // each replacement re-decides its dense/compressed representation for
+    // the new density.
     const Schema& schema = relation_.schema();
-    cache_.ExtendEntries([&](const ConditionKey& key, const Bitset& old_bitmap)
-                             -> std::shared_ptr<const Bitset> {
-      auto extended = std::make_shared<Bitset>(old_bitmap);
-      extended->Resize(new_prefix);
-      const std::vector<CellValue>& col = relation_.Column(key.attribute);
-      if (key.kind == AttrKind::kNumeric) {
-        Interval iv{key.a, key.b};
-        for (size_t r = old_prefix; r < new_prefix; ++r) {
-          if (iv.Contains(col[r])) extended->Set(r);
-        }
-      } else {
-        const Ontology* ontology = schema.attribute(key.attribute).ontology.get();
-        ConceptId concept_id = static_cast<ConceptId>(key.a);
-        for (size_t r = old_prefix; r < new_prefix; ++r) {
-          ConceptId value = static_cast<ConceptId>(col[r]);
-          if (ontology->IsValid(value) && ontology->Contains(concept_id, value)) {
-            extended->Set(r);
+    cache_.ExtendEntries(
+        [&](const ConditionKey& key, const CachedBitmap& old_bitmap)
+            -> std::shared_ptr<const CachedBitmap> {
+          Bitset extended = old_bitmap.ToBitset();
+          extended.Resize(new_prefix);
+          const std::vector<CellValue>& col = relation_.Column(key.attribute);
+          if (key.kind == AttrKind::kNumeric) {
+            simd::OrRangeMatches(col.data(), old_prefix, new_prefix, key.a,
+                                 key.b, &extended);
+          } else {
+            const Ontology* ontology =
+                schema.attribute(key.attribute).ontology.get();
+            ConceptId concept_id = static_cast<ConceptId>(key.a);
+            // Byte membership table over the concept domain; the kernel's
+            // bounds check is exactly IsValid.
+            std::vector<uint8_t> member(ontology->size());
+            for (ConceptId v = 0; v < member.size(); ++v) {
+              member[v] = ontology->Contains(concept_id, v) ? 1 : 0;
+            }
+            simd::OrMemberMatches(col.data(), old_prefix, new_prefix,
+                                  member.data(), member.size(), &extended);
           }
-        }
-      }
-      return extended;
-    });
+          return CachedBitmap::Make(std::move(extended));
+        });
     prefix_ = new_prefix;
   }
   if (requested_prefix_ < prefix_) requested_prefix_ = prefix_;

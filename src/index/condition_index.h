@@ -60,9 +60,11 @@ class ConditionIndex {
   bool ReadyForRule(const Rule& rule) const;
 
   /// Capture bitmap of one condition over the prefix: LRU-cached, extracted
-  /// from the attribute index on miss. Requires the attribute's index
-  /// (EnsureForRule / ReadyForRule). Thread-safe.
-  std::shared_ptr<const Bitset> ConditionBitmap(size_t attr, const Condition& cond);
+  /// from the attribute index on miss, stored dense or compressed by density
+  /// (CachedBitmap). Requires the attribute's index (EnsureForRule /
+  /// ReadyForRule). Thread-safe.
+  std::shared_ptr<const CachedBitmap> ConditionBitmap(size_t attr,
+                                                      const Condition& cond);
 
   /// Delta-maintains the binding out to `new_prefix` rows (clamped to the
   /// relation's current rows; must not shrink the prefix): every built

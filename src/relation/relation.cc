@@ -9,6 +9,13 @@ Relation::Relation(std::shared_ptr<const Schema> schema)
   assert(schema_ != nullptr);
 }
 
+void Relation::Reserve(size_t num_rows) {
+  for (auto& column : columns_) column.reserve(num_rows);
+  true_labels_.reserve(num_rows);
+  visible_labels_.reserve(num_rows);
+  scores_.reserve(num_rows);
+}
+
 Status Relation::AppendRow(const Tuple& row, Label true_label, Label visible_label,
                            int score) {
   if (row.size() != schema_->arity()) {

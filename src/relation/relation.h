@@ -37,6 +37,11 @@ class Relation {
   size_t NumRows() const { return num_rows_; }
   size_t NumColumns() const { return columns_.size(); }
 
+  /// Pre-allocates every column and side array for `num_rows` total rows, so
+  /// bulk loaders (generators, dataset readers) append without incremental
+  /// reallocation. No-op if already at least that large.
+  void Reserve(size_t num_rows);
+
   /// Appends a row. `row.size()` must equal the schema arity; categorical
   /// cells must hold valid concept ids for their ontology.
   Status AppendRow(const Tuple& row, Label true_label = Label::kUnlabeled,

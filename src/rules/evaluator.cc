@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "simd/simd.h"
 
 namespace rudolf {
 
@@ -18,6 +19,10 @@ constexpr size_t kRowBlockGrain = size_t{1} << 14;
 
 // Below this prefix size the fork-join overhead beats the scan itself.
 constexpr size_t kMinParallelRows = size_t{1} << 15;
+
+// Below this block size the per-row survivors loop beats the kernel path
+// (mask buffers + a full column pass per condition).
+constexpr size_t kMinVectorRows = 128;
 
 }  // namespace
 
@@ -122,14 +127,30 @@ std::vector<size_t> RuleEvaluator::NonTrivialConditions(const Rule& rule) const 
   return conditions;
 }
 
+namespace {
+
+// Membership test matching the InSet kernel's semantics: out-of-domain
+// values are non-members (AppendRow validates cells, so on well-formed data
+// this is exactly mask[v]).
+inline bool InMask(const std::vector<uint8_t>& mask, CellValue v) {
+  return static_cast<uint64_t>(v) < mask.size() &&
+         mask[static_cast<size_t>(v)] != 0;
+}
+
+}  // namespace
+
 void RuleEvaluator::EvalRuleBlock(const Rule& rule,
                                   const std::vector<size_t>& conditions,
                                   size_t lo, size_t hi, Bitset* out) const {
+  if (hi - lo >= kMinVectorRows) {
+    EvalRuleBlockVectorized(rule, conditions, lo, hi, out);
+    return;
+  }
   const Schema& schema = relation_.schema();
-  // Most rules are selective conjunctions: evaluate the first non-trivial
-  // condition over the block's column slice, then filter the (usually
-  // short) surviving row list through the remaining conditions instead of
-  // paying a full column pass per condition.
+  // Small blocks: evaluate the first non-trivial condition over the block's
+  // column slice, then filter the (usually short) surviving row list through
+  // the remaining conditions instead of paying a full column pass per
+  // condition.
   std::vector<size_t> survivors;
   {
     size_t attr = conditions[0];
@@ -139,7 +160,7 @@ void RuleEvaluator::EvalRuleBlock(const Rule& rule,
       const std::vector<uint8_t>& mask =
           ConceptMask(schema.attribute(attr).ontology.get(), cond.concept_id());
       for (size_t r = lo; r < hi; ++r) {
-        if (mask[static_cast<size_t>(col[r])]) survivors.push_back(r);
+        if (InMask(mask, col[r])) survivors.push_back(r);
       }
     } else {
       const Interval iv = cond.interval();
@@ -158,7 +179,7 @@ void RuleEvaluator::EvalRuleBlock(const Rule& rule,
       const std::vector<uint8_t>& mask =
           ConceptMask(schema.attribute(attr).ontology.get(), cond.concept_id());
       for (size_t r : survivors) {
-        if (mask[static_cast<size_t>(col[r])]) survivors[kept++] = r;
+        if (InMask(mask, col[r])) survivors[kept++] = r;
       }
     } else {
       const Interval iv = cond.interval();
@@ -171,11 +192,74 @@ void RuleEvaluator::EvalRuleBlock(const Rule& rule,
   for (size_t r : survivors) out->Set(r);
 }
 
+void RuleEvaluator::EvalRuleBlockVectorized(const Rule& rule,
+                                            const std::vector<size_t>& conditions,
+                                            size_t lo, size_t hi,
+                                            Bitset* out) const {
+  const Schema& schema = relation_.schema();
+  RUDOLF_COUNTER_INC("eval.rule.vectorized");
+  // Ragged head up to the first word boundary: per row. Parallel callers
+  // partition on word-aligned boundaries, so this is empty on the hot path.
+  size_t alo = std::min((lo + 63) & ~size_t{63}, hi);
+  for (size_t r = lo; r < alo; ++r) {
+    bool ok = true;
+    for (size_t attr : conditions) {
+      const Condition& cond = rule.condition(attr);
+      CellValue v = relation_.Column(attr)[r];
+      if (cond.kind() == AttrKind::kCategorical) {
+        const std::vector<uint8_t>& mask = ConceptMask(
+            schema.attribute(attr).ontology.get(), cond.concept_id());
+        ok = InMask(mask, v);
+      } else {
+        ok = cond.interval().lo <= v && v <= cond.interval().hi;
+      }
+      if (!ok) break;
+    }
+    if (ok) out->Set(r);
+  }
+  if (alo >= hi) return;
+  // Aligned body [alo, hi): one kernel pass per condition into word-packed
+  // masks. The first mask seeds the accumulator, later ones AND into it;
+  // kernels zero the tail bits of the last word, so the OR into `out` below
+  // never sets a bit >= hi.
+  size_t nbits = hi - alo;
+  size_t nwords = Bitset::WordsFor(nbits);
+  std::vector<uint64_t> acc(nwords);
+  std::vector<uint64_t> mask_words(nwords);
+  bool live = true;
+  for (size_t c = 0; c < conditions.size() && live; ++c) {
+    size_t attr = conditions[c];
+    const Condition& cond = rule.condition(attr);
+    const int64_t* col = relation_.Column(attr).data() + alo;
+    uint64_t* dst = c == 0 ? acc.data() : mask_words.data();
+    if (cond.kind() == AttrKind::kCategorical) {
+      const std::vector<uint8_t>& mask =
+          ConceptMask(schema.attribute(attr).ontology.get(), cond.concept_id());
+      simd::InSetMaskI64(col, nbits, mask.data(), mask.size(), dst);
+    } else {
+      const Interval iv = cond.interval();
+      simd::RangeMaskI64(col, nbits, iv.lo, iv.hi, dst);
+    }
+    if (c > 0) {
+      uint64_t any = 0;
+      for (size_t w = 0; w < nwords; ++w) {
+        acc[w] &= mask_words[w];
+        any |= acc[w];
+      }
+      live = any != 0;  // conjunction can only shrink: dead block, stop early
+    }
+  }
+  out->OrWords(acc.data(), alo / 64, nwords);
+}
+
 Bitset RuleEvaluator::EvalRuleIndexed(const Rule& rule,
                                       const std::vector<size_t>& conditions) const {
-  Bitset out = *index_->ConditionBitmap(conditions[0], rule.condition(conditions[0]));
+  Bitset out =
+      index_->ConditionBitmap(conditions[0], rule.condition(conditions[0]))
+          ->ToBitset();
   for (size_t c = 1; c < conditions.size(); ++c) {
-    out &= *index_->ConditionBitmap(conditions[c], rule.condition(conditions[c]));
+    index_->ConditionBitmap(conditions[c], rule.condition(conditions[c]))
+        ->AndInto(&out);
   }
   return out;
 }

@@ -145,11 +145,20 @@ class RuleEvaluator {
   // Indices of the rule's non-trivial conditions.
   std::vector<size_t> NonTrivialConditions(const Rule& rule) const;
 
-  // The serial scan, restricted to rows [lo, hi): finds survivors of the
-  // conditions and sets their bits in `out`. With word-aligned [lo, hi)
+  // The scan, restricted to rows [lo, hi): sets the bits of the rows
+  // matching every condition in `out`. Large blocks take the vectorized
+  // kernel path (EvalRuleBlockVectorized), small ones a per-row survivors
+  // loop; both produce identical bits. With word-aligned [lo, hi)
   // partitions, concurrent calls write disjoint words of `out`.
   void EvalRuleBlock(const Rule& rule, const std::vector<size_t>& conditions,
                      size_t lo, size_t hi, Bitset* out) const;
+
+  // Kernel path of EvalRuleBlock: streams each condition's column slice
+  // through the predicate kernels (src/simd/) into word-packed masks, ANDs
+  // the masks, and ORs the conjunction into `out`'s words.
+  void EvalRuleBlockVectorized(const Rule& rule,
+                               const std::vector<size_t>& conditions,
+                               size_t lo, size_t hi, Bitset* out) const;
 
   // The indexed path: intersection of the conditions' cached bitmaps.
   // Requires index_->ReadyForRule(rule).

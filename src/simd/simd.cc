@@ -1,0 +1,646 @@
+#include "simd/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define RUDOLF_SIMD_X86 1
+#include <immintrin.h>
+#if defined(__GNUC__) || defined(__clang__)
+// AVX2/AVX-512 bodies are compiled per-function via the target attribute, so
+// the rest of the binary keeps the baseline ISA and no global -mavx2 is
+// needed.
+#define RUDOLF_SIMD_HAVE_AVX2_TARGET 1
+#define RUDOLF_SIMD_HAVE_AVX512_TARGET 1
+#endif
+#endif
+
+#if defined(__aarch64__)
+#define RUDOLF_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+// The scalar tier is the reference implementation the exactness suite and
+// the forced-scalar CI job compare against; keep the compiler from
+// auto-vectorizing it so "scalar" means what it says.
+#if defined(__GNUC__) && !defined(__clang__)
+#define RUDOLF_NO_AUTOVEC __attribute__((optimize("no-tree-vectorize")))
+#else
+#define RUDOLF_NO_AUTOVEC
+#endif
+
+namespace rudolf::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar tier — branchless word packing, 64 rows per output word.
+// ---------------------------------------------------------------------------
+
+RUDOLF_NO_AUTOVEC
+void RangeMaskScalar(const int64_t* data, size_t n, int64_t lo, int64_t hi,
+                     uint64_t* words) {
+  size_t nw = n / 64;
+  for (size_t w = 0; w < nw; ++w) {
+    const int64_t* p = data + w * 64;
+    uint64_t m = 0;
+    for (int b = 0; b < 64; ++b) {
+      m |= static_cast<uint64_t>(lo <= p[b] && p[b] <= hi) << b;
+    }
+    words[w] = m;
+  }
+  size_t tail = n - nw * 64;
+  if (tail != 0) {
+    const int64_t* p = data + nw * 64;
+    uint64_t m = 0;
+    for (size_t b = 0; b < tail; ++b) {
+      m |= static_cast<uint64_t>(lo <= p[b] && p[b] <= hi) << b;
+    }
+    words[nw] = m;
+  }
+}
+
+RUDOLF_NO_AUTOVEC
+void EqMaskScalar(const int64_t* data, size_t n, int64_t value,
+                  uint64_t* words) {
+  size_t nw = n / 64;
+  for (size_t w = 0; w < nw; ++w) {
+    const int64_t* p = data + w * 64;
+    uint64_t m = 0;
+    for (int b = 0; b < 64; ++b) {
+      m |= static_cast<uint64_t>(p[b] == value) << b;
+    }
+    words[w] = m;
+  }
+  size_t tail = n - nw * 64;
+  if (tail != 0) {
+    const int64_t* p = data + nw * 64;
+    uint64_t m = 0;
+    for (size_t b = 0; b < tail; ++b) {
+      m |= static_cast<uint64_t>(p[b] == value) << b;
+    }
+    words[nw] = m;
+  }
+}
+
+RUDOLF_NO_AUTOVEC
+void NonZeroMaskScalar(const uint32_t* data, size_t n, uint64_t* words) {
+  size_t nw = n / 64;
+  for (size_t w = 0; w < nw; ++w) {
+    const uint32_t* p = data + w * 64;
+    uint64_t m = 0;
+    for (int b = 0; b < 64; ++b) {
+      m |= static_cast<uint64_t>(p[b] != 0) << b;
+    }
+    words[w] = m;
+  }
+  size_t tail = n - nw * 64;
+  if (tail != 0) {
+    const uint32_t* p = data + nw * 64;
+    uint64_t m = 0;
+    for (size_t b = 0; b < tail; ++b) {
+      m |= static_cast<uint64_t>(p[b] != 0) << b;
+    }
+    words[nw] = m;
+  }
+}
+
+// Membership is a byte-table lookup, so every tier shares this packed loop:
+// the win over the old per-row path is the branch-free packing, not wider
+// lanes (int64 indexes cannot gather from a byte table portably).
+void InSetMaskImpl(const int64_t* data, size_t n, const uint8_t* member,
+                   size_t domain, uint64_t* words) {
+  size_t nw = n / 64;
+  for (size_t w = 0; w < nw; ++w) {
+    const int64_t* p = data + w * 64;
+    uint64_t m = 0;
+    for (int b = 0; b < 64; ++b) {
+      uint64_t v = static_cast<uint64_t>(p[b]);
+      uint64_t bit = v < domain ? static_cast<uint64_t>(member[v] != 0) : 0;
+      m |= bit << b;
+    }
+    words[w] = m;
+  }
+  size_t tail = n - nw * 64;
+  if (tail != 0) {
+    const int64_t* p = data + nw * 64;
+    uint64_t m = 0;
+    for (size_t b = 0; b < tail; ++b) {
+      uint64_t v = static_cast<uint64_t>(p[b]);
+      uint64_t bit = v < domain ? static_cast<uint64_t>(member[v] != 0) : 0;
+      m |= bit << b;
+    }
+    words[nw] = m;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SSE2 tier — the x86_64 baseline. SSE2 has no 64-bit compares; they are
+// emulated with the canonical dword sequences (verified exhaustively against
+// the scalar tier by tests/simd_kernel_test, including INT64_MIN/MAX).
+// ---------------------------------------------------------------------------
+
+#if defined(RUDOLF_SIMD_X86)
+
+// Signed a > b per 64-bit lane, SSE2 only: the high dword decides when the
+// high dwords differ; when they are equal, the sign of the 64-bit borrow
+// subtract (b - a) decides. srai broadcasts each dword's sign and the
+// shuffle copies the high-dword verdict across its lane.
+inline __m128i CmpGtI64Sse2(__m128i a, __m128i b) {
+  __m128i r = _mm_and_si128(_mm_cmpeq_epi32(a, b), _mm_sub_epi64(b, a));
+  r = _mm_or_si128(r, _mm_cmpgt_epi32(a, b));
+  r = _mm_srai_epi32(r, 31);
+  return _mm_shuffle_epi32(r, _MM_SHUFFLE(3, 3, 1, 1));
+}
+
+// a == b per 64-bit lane: both dwords equal.
+inline __m128i CmpEqI64Sse2(__m128i a, __m128i b) {
+  __m128i e = _mm_cmpeq_epi32(a, b);
+  return _mm_and_si128(e, _mm_shuffle_epi32(e, _MM_SHUFFLE(2, 3, 0, 1)));
+}
+
+void RangeMaskSse2(const int64_t* data, size_t n, int64_t lo, int64_t hi,
+                   uint64_t* words) {
+  const __m128i vlo = _mm_set1_epi64x(lo);
+  const __m128i vhi = _mm_set1_epi64x(hi);
+  size_t nw = n / 64;
+  for (size_t w = 0; w < nw; ++w) {
+    const int64_t* p = data + w * 64;
+    uint64_t m = 0;
+    for (int g = 0; g < 64; g += 2) {
+      __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + g));
+      __m128i bad = _mm_or_si128(CmpGtI64Sse2(vlo, x), CmpGtI64Sse2(x, vhi));
+      unsigned bits =
+          static_cast<unsigned>(_mm_movemask_pd(_mm_castsi128_pd(bad)));
+      m |= static_cast<uint64_t>(~bits & 0x3u) << g;
+    }
+    words[w] = m;
+  }
+  size_t tail = n - nw * 64;
+  if (tail != 0) RangeMaskScalar(data + nw * 64, tail, lo, hi, words + nw);
+}
+
+void EqMaskSse2(const int64_t* data, size_t n, int64_t value,
+                uint64_t* words) {
+  const __m128i vv = _mm_set1_epi64x(value);
+  size_t nw = n / 64;
+  for (size_t w = 0; w < nw; ++w) {
+    const int64_t* p = data + w * 64;
+    uint64_t m = 0;
+    for (int g = 0; g < 64; g += 2) {
+      __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + g));
+      unsigned bits = static_cast<unsigned>(
+          _mm_movemask_pd(_mm_castsi128_pd(CmpEqI64Sse2(x, vv))));
+      m |= static_cast<uint64_t>(bits & 0x3u) << g;
+    }
+    words[w] = m;
+  }
+  size_t tail = n - nw * 64;
+  if (tail != 0) EqMaskScalar(data + nw * 64, tail, value, words + nw);
+}
+
+void NonZeroMaskSse2(const uint32_t* data, size_t n, uint64_t* words) {
+  const __m128i zero = _mm_setzero_si128();
+  size_t nw = n / 64;
+  for (size_t w = 0; w < nw; ++w) {
+    const uint32_t* p = data + w * 64;
+    uint64_t m = 0;
+    for (int g = 0; g < 64; g += 4) {
+      __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + g));
+      unsigned is_zero = static_cast<unsigned>(
+          _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(x, zero))));
+      m |= static_cast<uint64_t>(~is_zero & 0xFu) << g;
+    }
+    words[w] = m;
+  }
+  size_t tail = n - nw * 64;
+  if (tail != 0) NonZeroMaskScalar(data + nw * 64, tail, words + nw);
+}
+
+#endif  // RUDOLF_SIMD_X86
+
+#if defined(RUDOLF_SIMD_HAVE_AVX2_TARGET)
+
+__attribute__((target("avx2"))) void RangeMaskAvx2(const int64_t* data,
+                                                   size_t n, int64_t lo,
+                                                   int64_t hi,
+                                                   uint64_t* words) {
+  if (lo > hi) {  // empty interval: the contract still writes every word
+    for (size_t w = 0; w < (n + 63) / 64; ++w) words[w] = 0;
+    return;
+  }
+  // One compare per vector instead of two: lo <= x <= hi  <=>
+  // (u64)(x - lo) <= (u64)(hi - lo). VPCMPGTQ is the port bottleneck of the
+  // two-compare form (all compares contend on one ALU port), so halving the
+  // compares nearly doubles throughput. The unsigned compare is a signed
+  // VPCMPGTQ after flipping the sign bit of both sides.
+  const __m256i vlo = _mm256_set1_epi64x(lo);
+  const __m256i vsign = _mm256_set1_epi64x(
+      static_cast<int64_t>(uint64_t{1} << 63));
+  const uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+  const __m256i vrangef =
+      _mm256_set1_epi64x(static_cast<int64_t>(range ^ (uint64_t{1} << 63)));
+  size_t nw = n / 64;
+  for (size_t w = 0; w < nw; ++w) {
+    const int64_t* p = data + w * 64;
+    uint64_t m = 0;
+    for (int g = 0; g < 64; g += 4) {
+      __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + g));
+      __m256i uxf = _mm256_xor_si256(_mm256_sub_epi64(x, vlo), vsign);
+      __m256i bad = _mm256_cmpgt_epi64(uxf, vrangef);
+      unsigned bits =
+          static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(bad)));
+      m |= static_cast<uint64_t>(~bits & 0xFu) << g;
+    }
+    words[w] = m;
+  }
+  size_t tail = n - nw * 64;
+  if (tail != 0) RangeMaskScalar(data + nw * 64, tail, lo, hi, words + nw);
+}
+
+__attribute__((target("avx2"))) void EqMaskAvx2(const int64_t* data, size_t n,
+                                                int64_t value,
+                                                uint64_t* words) {
+  const __m256i vv = _mm256_set1_epi64x(value);
+  size_t nw = n / 64;
+  for (size_t w = 0; w < nw; ++w) {
+    const int64_t* p = data + w * 64;
+    uint64_t m = 0;
+    for (int g = 0; g < 64; g += 4) {
+      __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + g));
+      unsigned bits = static_cast<unsigned>(_mm256_movemask_pd(
+          _mm256_castsi256_pd(_mm256_cmpeq_epi64(x, vv))));
+      m |= static_cast<uint64_t>(bits & 0xFu) << g;
+    }
+    words[w] = m;
+  }
+  size_t tail = n - nw * 64;
+  if (tail != 0) EqMaskScalar(data + nw * 64, tail, value, words + nw);
+}
+
+__attribute__((target("avx2"))) void NonZeroMaskAvx2(const uint32_t* data,
+                                                     size_t n,
+                                                     uint64_t* words) {
+  const __m256i zero = _mm256_setzero_si256();
+  size_t nw = n / 64;
+  for (size_t w = 0; w < nw; ++w) {
+    const uint32_t* p = data + w * 64;
+    uint64_t m = 0;
+    for (int g = 0; g < 64; g += 8) {
+      __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + g));
+      unsigned is_zero = static_cast<unsigned>(_mm256_movemask_ps(
+          _mm256_castsi256_ps(_mm256_cmpeq_epi32(x, zero))));
+      m |= static_cast<uint64_t>(~is_zero & 0xFFu) << g;
+    }
+    words[w] = m;
+  }
+  size_t tail = n - nw * 64;
+  if (tail != 0) NonZeroMaskScalar(data + nw * 64, tail, words + nw);
+}
+
+#endif  // RUDOLF_SIMD_HAVE_AVX2_TARGET
+
+// ---------------------------------------------------------------------------
+// AVX-512 tier. Mask-register compares are purpose-built for this kernel
+// contract: one VPCMP per 8 rows yields an in-order __mmask8, so a 64-row
+// output word is eight compares plus shifts — no movemask, no per-lane
+// extraction. F+DQ is the feature gate (DQ for the byte-mask moves).
+// ---------------------------------------------------------------------------
+
+#if defined(RUDOLF_SIMD_HAVE_AVX512_TARGET)
+
+__attribute__((target("avx512f,avx512dq,avx512bw"))) void RangeMaskAvx512(
+    const int64_t* data, size_t n, int64_t lo, int64_t hi, uint64_t* words) {
+  if (lo > hi) {  // empty interval: the contract still writes every word
+    for (size_t w = 0; w < (n + 63) / 64; ++w) words[w] = 0;
+    return;
+  }
+  // Same biased-range formulation as the AVX2 tier, but AVX-512 compares
+  // unsigned natively: in-range iff (u64)(x - lo) <= (u64)(hi - lo).
+  const __m512i vlo = _mm512_set1_epi64(lo);
+  const __m512i vrange = _mm512_set1_epi64(
+      static_cast<int64_t>(static_cast<uint64_t>(hi) -
+                           static_cast<uint64_t>(lo)));
+  size_t nw = n / 64;
+  for (size_t w = 0; w < nw; ++w) {
+    const int64_t* p = data + w * 64;
+    // Eight __mmask8 results fold into one 64-bit word inside the mask
+    // registers (kunpck tree), so only a single kmovq leaves the mask
+    // domain per word.
+    __mmask8 k[8];
+    for (int g = 0; g < 8; ++g) {
+      __m512i x =
+          _mm512_loadu_si512(reinterpret_cast<const void*>(p + g * 8));
+      k[g] = _mm512_cmple_epu64_mask(_mm512_sub_epi64(x, vlo), vrange);
+    }
+    __mmask16 k01 = _mm512_kunpackb(k[1], k[0]);
+    __mmask16 k23 = _mm512_kunpackb(k[3], k[2]);
+    __mmask16 k45 = _mm512_kunpackb(k[5], k[4]);
+    __mmask16 k67 = _mm512_kunpackb(k[7], k[6]);
+    __mmask32 k03 = _mm512_kunpackw(k23, k01);
+    __mmask32 k47 = _mm512_kunpackw(k67, k45);
+    words[w] = static_cast<uint64_t>(_mm512_kunpackd(k47, k03));
+  }
+  size_t tail = n - nw * 64;
+  if (tail != 0) RangeMaskScalar(data + nw * 64, tail, lo, hi, words + nw);
+}
+
+__attribute__((target("avx512f,avx512dq,avx512bw"))) void EqMaskAvx512(
+    const int64_t* data, size_t n, int64_t value, uint64_t* words) {
+  const __m512i vv = _mm512_set1_epi64(value);
+  size_t nw = n / 64;
+  for (size_t w = 0; w < nw; ++w) {
+    const int64_t* p = data + w * 64;
+    uint64_t m = 0;
+    for (int g = 0; g < 64; g += 8) {
+      __m512i x =
+          _mm512_loadu_si512(reinterpret_cast<const void*>(p + g));
+      m |= static_cast<uint64_t>(_mm512_cmpeq_epi64_mask(x, vv)) << g;
+    }
+    words[w] = m;
+  }
+  size_t tail = n - nw * 64;
+  if (tail != 0) EqMaskScalar(data + nw * 64, tail, value, words + nw);
+}
+
+__attribute__((target("avx512f,avx512dq,avx512bw"))) void NonZeroMaskAvx512(
+    const uint32_t* data, size_t n, uint64_t* words) {
+  const __m512i zero = _mm512_setzero_si512();
+  size_t nw = n / 64;
+  for (size_t w = 0; w < nw; ++w) {
+    const uint32_t* p = data + w * 64;
+    uint64_t m = 0;
+    for (int g = 0; g < 64; g += 16) {
+      __m512i x =
+          _mm512_loadu_si512(reinterpret_cast<const void*>(p + g));
+      m |= static_cast<uint64_t>(_mm512_cmpneq_epu32_mask(x, zero)) << g;
+    }
+    words[w] = m;
+  }
+  size_t tail = n - nw * 64;
+  if (tail != 0) NonZeroMaskScalar(data + nw * 64, tail, words + nw);
+}
+
+#endif  // RUDOLF_SIMD_HAVE_AVX512_TARGET
+
+#if defined(RUDOLF_SIMD_NEON)
+
+void RangeMaskNeon(const int64_t* data, size_t n, int64_t lo, int64_t hi,
+                   uint64_t* words) {
+  const int64x2_t vlo = vdupq_n_s64(lo);
+  const int64x2_t vhi = vdupq_n_s64(hi);
+  size_t nw = n / 64;
+  for (size_t w = 0; w < nw; ++w) {
+    const int64_t* p = data + w * 64;
+    uint64_t m = 0;
+    for (int g = 0; g < 64; g += 2) {
+      int64x2_t x = vld1q_s64(p + g);
+      uint64x2_t ok = vandq_u64(vcgeq_s64(x, vlo), vcleq_s64(x, vhi));
+      m |= (vgetq_lane_u64(ok, 0) & 1) << g;
+      m |= (vgetq_lane_u64(ok, 1) & 1) << (g + 1);
+    }
+    words[w] = m;
+  }
+  size_t tail = n - nw * 64;
+  if (tail != 0) RangeMaskScalar(data + nw * 64, tail, lo, hi, words + nw);
+}
+
+void EqMaskNeon(const int64_t* data, size_t n, int64_t value,
+                uint64_t* words) {
+  const int64x2_t vv = vdupq_n_s64(value);
+  size_t nw = n / 64;
+  for (size_t w = 0; w < nw; ++w) {
+    const int64_t* p = data + w * 64;
+    uint64_t m = 0;
+    for (int g = 0; g < 64; g += 2) {
+      uint64x2_t ok = vceqq_s64(vld1q_s64(p + g), vv);
+      m |= (vgetq_lane_u64(ok, 0) & 1) << g;
+      m |= (vgetq_lane_u64(ok, 1) & 1) << (g + 1);
+    }
+    words[w] = m;
+  }
+  size_t tail = n - nw * 64;
+  if (tail != 0) EqMaskScalar(data + nw * 64, tail, value, words + nw);
+}
+
+void NonZeroMaskNeon(const uint32_t* data, size_t n, uint64_t* words) {
+  const uint32x4_t zero = vdupq_n_u32(0);
+  size_t nw = n / 64;
+  for (size_t w = 0; w < nw; ++w) {
+    const uint32_t* p = data + w * 64;
+    uint64_t m = 0;
+    for (int g = 0; g < 64; g += 4) {
+      uint32x4_t nz = vmvnq_u32(vceqq_u32(vld1q_u32(p + g), zero));
+      m |= static_cast<uint64_t>(vgetq_lane_u32(nz, 0) & 1) << g;
+      m |= static_cast<uint64_t>(vgetq_lane_u32(nz, 1) & 1) << (g + 1);
+      m |= static_cast<uint64_t>(vgetq_lane_u32(nz, 2) & 1) << (g + 2);
+      m |= static_cast<uint64_t>(vgetq_lane_u32(nz, 3) & 1) << (g + 3);
+    }
+    words[w] = m;
+  }
+  size_t tail = n - nw * 64;
+  if (tail != 0) NonZeroMaskScalar(data + nw * 64, tail, words + nw);
+}
+
+#endif  // RUDOLF_SIMD_NEON
+
+// True iff `tier` can run when `detected` was the probed capability — the
+// x86 ladder is scalar < sse2 < avx2 < avx512; NEON has only scalar below it.
+bool TierRunnable(Tier tier, Tier detected) {
+  if (tier == Tier::kScalar || tier == detected) return true;
+  switch (detected) {
+    case Tier::kAVX512:
+      return tier == Tier::kSSE2 || tier == Tier::kAVX2;
+    case Tier::kAVX2:
+      return tier == Tier::kSSE2;
+    default:
+      return false;
+  }
+}
+
+Tier ParseRequestedTier(const char* env, Tier detected) {
+  Tier requested = detected;
+  if (std::strcmp(env, "scalar") == 0) requested = Tier::kScalar;
+#if defined(RUDOLF_SIMD_X86)
+  if (std::strcmp(env, "sse2") == 0) requested = Tier::kSSE2;
+  if (std::strcmp(env, "avx2") == 0) requested = Tier::kAVX2;
+  if (std::strcmp(env, "avx512") == 0) requested = Tier::kAVX512;
+#endif
+#if defined(RUDOLF_SIMD_NEON)
+  if (std::strcmp(env, "neon") == 0) requested = Tier::kNEON;
+#endif
+  // "auto", an unknown name, or a tier this build/host cannot run: use
+  // whatever was detected.
+  return TierRunnable(requested, detected) ? requested : detected;
+}
+
+}  // namespace
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSSE2:
+      return "sse2";
+    case Tier::kAVX2:
+      return "avx2";
+    case Tier::kNEON:
+      return "neon";
+    case Tier::kAVX512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+Tier DetectTier() {
+#if defined(RUDOLF_SIMD_HAVE_AVX512_TARGET)
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512bw")) {
+    return Tier::kAVX512;
+  }
+#endif
+#if defined(RUDOLF_SIMD_HAVE_AVX2_TARGET)
+  if (__builtin_cpu_supports("avx2")) return Tier::kAVX2;
+#endif
+#if defined(RUDOLF_SIMD_X86)
+  return Tier::kSSE2;
+#elif defined(RUDOLF_SIMD_NEON)
+  return Tier::kNEON;
+#else
+  return Tier::kScalar;
+#endif
+}
+
+Tier ActiveTier() {
+  static const Tier tier = [] {
+    Tier detected = DetectTier();
+    Tier chosen = detected;
+    if (const char* env = std::getenv("RUDOLF_SIMD")) {
+      chosen = ParseRequestedTier(env, detected);
+    }
+    // Exported once so every sidecar records which path ran (0 = scalar,
+    // 1 = sse2, 2 = avx2, 3 = neon, 4 = avx512).
+    RUDOLF_COUNTER_ADD("simd.dispatch_tier", static_cast<uint64_t>(chosen));
+    return chosen;
+  }();
+  return tier;
+}
+
+void RangeMaskI64Tier(Tier tier, const int64_t* data, size_t n, int64_t lo,
+                      int64_t hi, uint64_t* words) {
+  switch (tier) {
+#if defined(RUDOLF_SIMD_HAVE_AVX512_TARGET)
+    case Tier::kAVX512:
+      RangeMaskAvx512(data, n, lo, hi, words);
+      return;
+#endif
+#if defined(RUDOLF_SIMD_HAVE_AVX2_TARGET)
+    case Tier::kAVX2:
+      RangeMaskAvx2(data, n, lo, hi, words);
+      return;
+#endif
+#if defined(RUDOLF_SIMD_X86)
+    case Tier::kSSE2:
+      RangeMaskSse2(data, n, lo, hi, words);
+      return;
+#endif
+#if defined(RUDOLF_SIMD_NEON)
+    case Tier::kNEON:
+      RangeMaskNeon(data, n, lo, hi, words);
+      return;
+#endif
+    default:
+      RangeMaskScalar(data, n, lo, hi, words);
+      return;
+  }
+}
+
+void EqMaskI64Tier(Tier tier, const int64_t* data, size_t n, int64_t value,
+                   uint64_t* words) {
+  switch (tier) {
+#if defined(RUDOLF_SIMD_HAVE_AVX512_TARGET)
+    case Tier::kAVX512:
+      EqMaskAvx512(data, n, value, words);
+      return;
+#endif
+#if defined(RUDOLF_SIMD_HAVE_AVX2_TARGET)
+    case Tier::kAVX2:
+      EqMaskAvx2(data, n, value, words);
+      return;
+#endif
+#if defined(RUDOLF_SIMD_X86)
+    case Tier::kSSE2:
+      EqMaskSse2(data, n, value, words);
+      return;
+#endif
+#if defined(RUDOLF_SIMD_NEON)
+    case Tier::kNEON:
+      EqMaskNeon(data, n, value, words);
+      return;
+#endif
+    default:
+      EqMaskScalar(data, n, value, words);
+      return;
+  }
+}
+
+void InSetMaskI64Tier(Tier tier, const int64_t* data, size_t n,
+                      const uint8_t* member, size_t domain, uint64_t* words) {
+  (void)tier;  // lookup-bound: every tier shares the packed loop
+  InSetMaskImpl(data, n, member, domain, words);
+}
+
+void NonZeroMaskU32Tier(Tier tier, const uint32_t* data, size_t n,
+                        uint64_t* words) {
+  switch (tier) {
+#if defined(RUDOLF_SIMD_HAVE_AVX512_TARGET)
+    case Tier::kAVX512:
+      NonZeroMaskAvx512(data, n, words);
+      return;
+#endif
+#if defined(RUDOLF_SIMD_HAVE_AVX2_TARGET)
+    case Tier::kAVX2:
+      NonZeroMaskAvx2(data, n, words);
+      return;
+#endif
+#if defined(RUDOLF_SIMD_X86)
+    case Tier::kSSE2:
+      NonZeroMaskSse2(data, n, words);
+      return;
+#endif
+#if defined(RUDOLF_SIMD_NEON)
+    case Tier::kNEON:
+      NonZeroMaskNeon(data, n, words);
+      return;
+#endif
+    default:
+      NonZeroMaskScalar(data, n, words);
+      return;
+  }
+}
+
+void RangeMaskI64(const int64_t* data, size_t n, int64_t lo, int64_t hi,
+                  uint64_t* words) {
+  RangeMaskI64Tier(ActiveTier(), data, n, lo, hi, words);
+}
+
+void EqMaskI64(const int64_t* data, size_t n, int64_t value, uint64_t* words) {
+  EqMaskI64Tier(ActiveTier(), data, n, value, words);
+}
+
+void InSetMaskI64(const int64_t* data, size_t n, const uint8_t* member,
+                  size_t domain, uint64_t* words) {
+  InSetMaskI64Tier(ActiveTier(), data, n, member, domain, words);
+}
+
+void NonZeroMaskU32(const uint32_t* data, size_t n, uint64_t* words) {
+  NonZeroMaskU32Tier(ActiveTier(), data, n, words);
+}
+
+}  // namespace rudolf::simd

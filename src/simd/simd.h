@@ -1,0 +1,97 @@
+// Portable vectorized predicate kernels over contiguous int64 columns — the
+// raw-speed layer of the 10M-row scan path (DESIGN.md "Vectorized predicate
+// kernels"). Each kernel evaluates one predicate over data[0, n) and writes
+// a *word-packed mask*: bit i of words[i/64] is 1 iff data[i] satisfies the
+// predicate. Masks drop straight into Bitset words (Bitset::OrWords /
+// AndWords), so a columnar scan becomes a handful of cache-streaming kernel
+// passes instead of a per-row branchy loop.
+//
+// Dispatch has two layers:
+//   * compile time — the translation unit builds every tier the
+//     architecture + compiler can express: AVX-512 (F+DQ; compares write
+//     mask registers directly, one VPCMP per 8 rows), AVX2 (via the
+//     gcc/clang `target(...)` function attribute, so no global -mavx2 is
+//     needed), SSE2 (the x86_64 baseline, with emulated 64-bit compares),
+//     NEON (the aarch64 baseline), and a plain scalar fallback that exists
+//     everywhere;
+//   * run time — ActiveTier() picks the highest tier the host CPU supports,
+//     clamped down by the RUDOLF_SIMD environment variable
+//     (scalar|sse2|avx2|avx512|neon|auto). The choice is resolved once per
+//     process and recorded in the obs registry as `simd.dispatch_tier`.
+//
+// Every tier produces bit-identical masks by construction; the
+// kernel-vs-scalar exactness suite (tests/simd_kernel_test) sweeps all
+// compiled-in tiers over unaligned lengths and sentinel values.
+
+#ifndef RUDOLF_SIMD_SIMD_H_
+#define RUDOLF_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rudolf::simd {
+
+/// Dispatch tiers, ordered by capability within an architecture. Numeric
+/// values are stable (they are exported via the obs registry).
+enum class Tier : int {
+  kScalar = 0,
+  kSSE2 = 1,
+  kAVX2 = 2,
+  kNEON = 3,
+  kAVX512 = 4,
+};
+
+/// "scalar" / "sse2" / "avx2" / "neon" / "avx512".
+const char* TierName(Tier tier);
+
+/// Highest tier this build can run on this host (compile-time support ∧
+/// runtime CPUID), ignoring the environment override.
+Tier DetectTier();
+
+/// The tier the dispatching kernels use: DetectTier() clamped by
+/// `RUDOLF_SIMD` (scalar|sse2|avx2|avx512|neon|auto; unknown or unavailable
+/// requests fall back to the detected tier, and a request below the detected
+/// tier clamps down the x86 ladder). Resolved once per process.
+Tier ActiveTier();
+
+// ---------------------------------------------------------------------------
+// Dispatching kernels. `words` must hold at least (n + 63) / 64 entries;
+// every mask bit in [0, n) is written (not ORed) and the trailing bits of
+// the last word are cleared, so outputs compose with Bitset's padding
+// invariant.
+// ---------------------------------------------------------------------------
+
+/// words ← mask of (lo <= data[i] && data[i] <= hi). An empty interval
+/// (lo > hi) produces an all-zero mask.
+void RangeMaskI64(const int64_t* data, size_t n, int64_t lo, int64_t hi,
+                  uint64_t* words);
+
+/// words ← mask of (data[i] == value).
+void EqMaskI64(const int64_t* data, size_t n, int64_t value, uint64_t* words);
+
+/// Small-domain membership for dictionary-coded categorical columns:
+/// words ← mask of (0 <= data[i] < domain && member[data[i]] != 0).
+/// `member` is a byte-per-value table (e.g. an ontology containment mask).
+/// Out-of-domain cells are treated as non-members, which matches how the
+/// index/extend paths treat malformed concept ids.
+void InSetMaskI64(const int64_t* data, size_t n, const uint8_t* member,
+                  size_t domain, uint64_t* words);
+
+/// Counter-array collapse (CaptureTracker's cover counts → union bitmap):
+/// words ← mask of (data[i] != 0).
+void NonZeroMaskU32(const uint32_t* data, size_t n, uint64_t* words);
+
+// Forced-tier variants for equivalence tests and the kernel_scan microbench.
+// `tier` must be compiled in and host-supported (≤ DetectTier()).
+void RangeMaskI64Tier(Tier tier, const int64_t* data, size_t n, int64_t lo,
+                      int64_t hi, uint64_t* words);
+void EqMaskI64Tier(Tier tier, const int64_t* data, size_t n, int64_t value,
+                   uint64_t* words);
+void InSetMaskI64Tier(Tier tier, const int64_t* data, size_t n,
+                      const uint8_t* member, size_t domain, uint64_t* words);
+void NonZeroMaskU32Tier(Tier tier, const uint32_t* data, size_t n,
+                        uint64_t* words);
+
+}  // namespace rudolf::simd
+
+#endif  // RUDOLF_SIMD_SIMD_H_

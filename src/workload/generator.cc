@@ -74,6 +74,7 @@ Dataset GenerateDataset(const GeneratorOptions& options) {
   ds.relation = std::make_shared<Relation>(ds.cc.schema);
 
   const size_t n = options.num_transactions;
+  ds.relation->Reserve(n);
   for (size_t i = 0; i < n; ++i) {
     double frac = static_cast<double>(i) / static_cast<double>(n);
     // Active patterns at this stream position.

@@ -235,6 +235,7 @@ IntrusionDataset GenerateIntrusionDataset(const IntrusionOptions& options,
 
   size_t labeled_prefix =
       static_cast<size_t>(label_prefix_frac * static_cast<double>(options.num_flows));
+  ds.relation->Reserve(options.num_flows);
   for (size_t i = 0; i < options.num_flows; ++i) {
     double frac = static_cast<double>(i) / static_cast<double>(options.num_flows);
     std::vector<const IntrusionCampaign*> active;

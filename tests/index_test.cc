@@ -111,7 +111,7 @@ TEST(ConditionCache, HitsMissesAndLruEviction) {
   auto key = [](int64_t lo) {
     return ConditionKey::For(0, Condition::MakeNumeric({lo, lo + 10}));
   };
-  auto bitmap = [] { return std::make_shared<const Bitset>(8); };
+  auto bitmap = [] { return CachedBitmap::Make(Bitset(8)); };
 
   EXPECT_EQ(cache.Get(key(1)), nullptr);  // miss
   cache.Put(key(1), bitmap());
@@ -146,7 +146,7 @@ TEST(ConditionCacheLru, EvictionOrderSurvivesConcurrentHits) {
   auto key = [](int64_t i) {
     return ConditionKey::For(0, Condition::MakeNumeric({i, i}));
   };
-  auto bitmap = [] { return std::make_shared<const Bitset>(8); };
+  auto bitmap = [] { return CachedBitmap::Make(Bitset(8)); };
 
   for (size_t i = 0; i < kCapacity; ++i) {
     cache.Put(key(static_cast<int64_t>(i)), bitmap());
@@ -215,7 +215,7 @@ TEST(ConditionIndex, BitmapsMatchRuleSemantics) {
   const Schema& schema = *ex.schema;
   for (size_t i = 0; i < rule.arity(); ++i) {
     if (rule.condition(i).IsTrivial(schema.attribute(i))) continue;
-    captured &= *index.ConditionBitmap(i, rule.condition(i));
+    index.ConditionBitmap(i, rule.condition(i))->AndInto(&captured);
   }
   for (size_t row = 0; row < ex.relation->NumRows(); ++row) {
     EXPECT_EQ(captured.Test(row), rule.MatchesRow(*ex.relation, row)) << row;
@@ -273,7 +273,7 @@ TEST(ConditionIndex, InvalidateIfGrownRebindsPrefix) {
   ConditionIndex index(relation);  // snapshot: all current rows
   Rule rule = ParseRule(*ex.schema, "amount >= 100").ValueOrDie();
   index.EnsureForRule(rule);
-  size_t before = index.ConditionBitmap(1, rule.condition(1))->Count();
+  size_t before = index.ConditionBitmap(1, rule.condition(1))->ToBitset().Count();
   EXPECT_FALSE(index.InvalidateIfGrown());  // nothing changed
 
   // Append a matching row; the index is stale until invalidated.
@@ -284,7 +284,8 @@ TEST(ConditionIndex, InvalidateIfGrownRebindsPrefix) {
   EXPECT_EQ(index.prefix_rows(), relation.NumRows());
   EXPECT_FALSE(index.ReadyForRule(rule));  // indexes dropped
   index.EnsureForRule(rule);
-  EXPECT_EQ(index.ConditionBitmap(1, rule.condition(1))->Count(), before + 1);
+  EXPECT_EQ(index.ConditionBitmap(1, rule.condition(1))->ToBitset().Count(),
+            before + 1);
 }
 
 TEST(ConditionIndex, MatchesEvaluatorOnGeneratedData) {
@@ -318,7 +319,7 @@ TEST(ConditionIndex, MatchesEvaluatorOnGeneratedData) {
     got.Fill(true);
     for (size_t a = 0; a < rule.arity(); ++a) {
       if (rule.condition(a).IsTrivial(schema.attribute(a))) continue;
-      got &= *index.ConditionBitmap(a, rule.condition(a));
+      index.ConditionBitmap(a, rule.condition(a))->AndInto(&got);
     }
     ASSERT_EQ(got, expected) << rule.ToString(schema);
   }

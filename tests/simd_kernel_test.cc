@@ -1,0 +1,205 @@
+// Kernel-vs-scalar exactness: every tier this build can run on this host
+// must produce bit-identical word-packed masks to the scalar reference, for
+// every kernel, across unaligned lengths (the ragged-tail path), random
+// data, and sentinel values (INT64_MIN/MAX, empty intervals). This is the
+// gate that lets the evaluator/index paths treat the dispatch tier as an
+// implementation detail.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "simd/simd.h"
+#include "util/random.h"
+
+namespace rudolf::simd {
+namespace {
+
+std::vector<Tier> HostTiers() {
+  std::vector<Tier> tiers{Tier::kScalar};
+  Tier detected = DetectTier();
+  if (detected == Tier::kSSE2 || detected == Tier::kAVX2 ||
+      detected == Tier::kAVX512) {
+    tiers.push_back(Tier::kSSE2);
+  }
+  if (detected == Tier::kAVX2 || detected == Tier::kAVX512) {
+    tiers.push_back(Tier::kAVX2);
+  }
+  if (detected == Tier::kAVX512) tiers.push_back(Tier::kAVX512);
+  if (detected == Tier::kNEON) tiers.push_back(Tier::kNEON);
+  return tiers;
+}
+
+constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+
+// Columns mixing random values with adversarial sentinels.
+std::vector<int64_t> MakeColumn(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> col(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (rng.UniformInt(0, 9)) {
+      case 0:
+        col[i] = kMin;
+        break;
+      case 1:
+        col[i] = kMax;
+        break;
+      case 2:
+        col[i] = 0;
+        break;
+      default:
+        col[i] = rng.UniformInt(-1000, 1000);
+        break;
+    }
+  }
+  return col;
+}
+
+size_t WordsFor(size_t n) { return (n + 63) / 64; }
+
+// Poisoned output buffers: a kernel must *write* every mask word (including
+// clearing tail bits), never rely on pre-zeroed memory.
+std::vector<uint64_t> Poisoned(size_t nwords) {
+  return std::vector<uint64_t>(nwords, ~uint64_t{0});
+}
+
+TEST(SimdKernelTest, TierOrderAndNames) {
+  EXPECT_STREQ(TierName(Tier::kScalar), "scalar");
+  EXPECT_STREQ(TierName(Tier::kSSE2), "sse2");
+  EXPECT_STREQ(TierName(Tier::kAVX2), "avx2");
+  EXPECT_STREQ(TierName(Tier::kNEON), "neon");
+  EXPECT_STREQ(TierName(Tier::kAVX512), "avx512");
+  EXPECT_GE(DetectTier(), Tier::kScalar);
+  // ActiveTier is DetectTier clamped by the environment; both must be
+  // runnable on this host.
+  EXPECT_LE(ActiveTier(), DetectTier());
+}
+
+TEST(SimdKernelTest, RangeMaskAllTiersAllLengths) {
+  const std::vector<Tier> tiers = HostTiers();
+  const std::vector<int64_t> col = MakeColumn(257, 1);
+  const std::pair<int64_t, int64_t> intervals[] = {
+      {-100, 100}, {0, 0},      {kMin, kMax}, {kMin, -500},
+      {500, kMax}, {10, -10},  // empty: lo > hi
+      {kMax, kMax}, {kMin, kMin},
+  };
+  for (size_t n = 0; n <= col.size(); ++n) {
+    for (const auto& [lo, hi] : intervals) {
+      std::vector<uint64_t> ref = Poisoned(WordsFor(n) + 1);
+      RangeMaskI64Tier(Tier::kScalar, col.data(), n, lo, hi, ref.data());
+      // Scalar reference must agree with a naive per-row evaluation.
+      for (size_t i = 0; i < n; ++i) {
+        bool expect = lo <= col[i] && col[i] <= hi;
+        ASSERT_EQ((ref[i / 64] >> (i % 64)) & 1, expect ? 1u : 0u)
+            << "row " << i << " n=" << n << " lo=" << lo << " hi=" << hi;
+      }
+      // Tail bits of the last mask word must be cleared.
+      if (n % 64 != 0) {
+        ASSERT_EQ(ref[n / 64] & ~((uint64_t{1} << (n % 64)) - 1), 0u) << n;
+      }
+      for (Tier t : tiers) {
+        std::vector<uint64_t> got = Poisoned(WordsFor(n) + 1);
+        RangeMaskI64Tier(t, col.data(), n, lo, hi, got.data());
+        for (size_t w = 0; w < WordsFor(n); ++w) {
+          ASSERT_EQ(got[w], ref[w])
+              << TierName(t) << " word " << w << " n=" << n << " lo=" << lo
+              << " hi=" << hi;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, EqMaskAllTiersAllLengths) {
+  const std::vector<Tier> tiers = HostTiers();
+  const std::vector<int64_t> col = MakeColumn(257, 2);
+  const int64_t values[] = {0, 1, -1, kMin, kMax, 777};
+  for (size_t n = 0; n <= col.size(); ++n) {
+    for (int64_t v : values) {
+      std::vector<uint64_t> ref = Poisoned(WordsFor(n) + 1);
+      EqMaskI64Tier(Tier::kScalar, col.data(), n, v, ref.data());
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ((ref[i / 64] >> (i % 64)) & 1, col[i] == v ? 1u : 0u);
+      }
+      for (Tier t : tiers) {
+        std::vector<uint64_t> got = Poisoned(WordsFor(n) + 1);
+        EqMaskI64Tier(t, col.data(), n, v, got.data());
+        for (size_t w = 0; w < WordsFor(n); ++w) {
+          ASSERT_EQ(got[w], ref[w]) << TierName(t) << " n=" << n << " v=" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, InSetMaskBoundsCheckedMembership) {
+  const std::vector<Tier> tiers = HostTiers();
+  // Values deliberately include negatives and >= domain: non-members.
+  Rng rng(3);
+  std::vector<int64_t> col(257);
+  for (auto& v : col) v = rng.UniformInt(-5, 20);
+  std::vector<uint8_t> member(16, 0);
+  for (size_t i = 0; i < member.size(); i += 3) member[i] = 1;
+  for (size_t n = 0; n <= col.size(); ++n) {
+    std::vector<uint64_t> ref = Poisoned(WordsFor(n) + 1);
+    InSetMaskI64Tier(Tier::kScalar, col.data(), n, member.data(),
+                     member.size(), ref.data());
+    for (size_t i = 0; i < n; ++i) {
+      bool expect = col[i] >= 0 &&
+                    static_cast<size_t>(col[i]) < member.size() &&
+                    member[static_cast<size_t>(col[i])] != 0;
+      ASSERT_EQ((ref[i / 64] >> (i % 64)) & 1, expect ? 1u : 0u) << i;
+    }
+    for (Tier t : tiers) {
+      std::vector<uint64_t> got = Poisoned(WordsFor(n) + 1);
+      InSetMaskI64Tier(t, col.data(), n, member.data(), member.size(),
+                       got.data());
+      for (size_t w = 0; w < WordsFor(n); ++w) {
+        ASSERT_EQ(got[w], ref[w]) << TierName(t) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, NonZeroMaskAllTiersAllLengths) {
+  const std::vector<Tier> tiers = HostTiers();
+  Rng rng(4);
+  std::vector<uint32_t> counts(257);
+  for (auto& c : counts) {
+    c = rng.Bernoulli(0.3) ? static_cast<uint32_t>(rng.UniformInt(1, 5)) : 0;
+  }
+  for (size_t n = 0; n <= counts.size(); ++n) {
+    std::vector<uint64_t> ref = Poisoned(WordsFor(n) + 1);
+    NonZeroMaskU32Tier(Tier::kScalar, counts.data(), n, ref.data());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ((ref[i / 64] >> (i % 64)) & 1, counts[i] != 0 ? 1u : 0u) << i;
+    }
+    for (Tier t : tiers) {
+      std::vector<uint64_t> got = Poisoned(WordsFor(n) + 1);
+      NonZeroMaskU32Tier(t, counts.data(), n, got.data());
+      for (size_t w = 0; w < WordsFor(n); ++w) {
+        ASSERT_EQ(got[w], ref[w]) << TierName(t) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, DispatchingEntryPointsMatchScalar) {
+  const std::vector<int64_t> col = MakeColumn(1000, 5);
+  std::vector<uint64_t> ref(WordsFor(col.size()));
+  std::vector<uint64_t> got(WordsFor(col.size()));
+
+  RangeMaskI64Tier(Tier::kScalar, col.data(), col.size(), -50, 50, ref.data());
+  RangeMaskI64(col.data(), col.size(), -50, 50, got.data());
+  EXPECT_EQ(got, ref);
+
+  EqMaskI64Tier(Tier::kScalar, col.data(), col.size(), 0, ref.data());
+  EqMaskI64(col.data(), col.size(), 0, got.data());
+  EXPECT_EQ(got, ref);
+}
+
+}  // namespace
+}  // namespace rudolf::simd
