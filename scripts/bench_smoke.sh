@@ -16,7 +16,7 @@ REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
 
-for bench in streaming_rounds incremental_eval serving_latency kernel_scan; do
+for bench in streaming_rounds incremental_eval serving_latency kernel_scan pipeline_throughput; do
   bin="$REPO_DIR/$BUILD_DIR/bench/$bench"
   if [ ! -x "$bin" ]; then
     echo "error: $bin not built (cmake --build $BUILD_DIR)" >&2
@@ -27,11 +27,41 @@ for bench in streaming_rounds incremental_eval serving_latency kernel_scan; do
   echo
 done
 
-# One JSON object per line, stamped with the run time, appended to the
-# trajectory so successive runs can be diffed.
+# One JSON object per line, stamped with the run time. The lines are staged
+# in a temp file and appended under an exclusive flock on the target, so
+# concurrent smoke runs (parallel CI legs, a dev run racing CI on a shared
+# checkout) interleave whole runs instead of splicing partial lines.
 STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+STAGED="$OUT_DIR/staged.jsonl"
+: > "$STAGED"
 for f in "$OUT_DIR"/BENCH_*.json; do
-  tr -d '\n' < "$f" | sed "s/^{/{\"at\": \"$STAMP\", /;s/  */ /g" >> "$REPO_DIR/bench/PERF.jsonl"
-  printf '\n' >> "$REPO_DIR/bench/PERF.jsonl"
+  tr -d '\n' < "$f" | sed "s/^{/{\"at\": \"$STAMP\", /;s/  */ /g" >> "$STAGED"
+  printf '\n' >> "$STAGED"
 done
-echo "appended $(ls "$OUT_DIR"/BENCH_*.json | wc -l) entries to bench/PERF.jsonl"
+
+PERF="$REPO_DIR/bench/PERF.jsonl"
+if command -v flock >/dev/null 2>&1; then
+  flock "$PERF" sh -c 'cat "$1" >> "$2"' _ "$STAGED" "$PERF"
+else
+  # No flock on this platform: the staged file still makes the append a
+  # single write syscall per run in practice, the best available fallback.
+  cat "$STAGED" >> "$PERF"
+fi
+
+# Every line of the trajectory must parse as standalone JSON — catch a torn
+# or malformed append immediately instead of poisoning later diffs.
+python3 - "$PERF" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as fh:
+    for n, line in enumerate(fh, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            json.loads(line)
+        except ValueError as e:
+            sys.exit(f"{path}:{n}: invalid JSON line: {e}")
+EOF
+
+echo "appended $(wc -l < "$STAGED") entries to bench/PERF.jsonl (all lines valid JSON)"

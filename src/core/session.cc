@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 
+#include <mutex>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "pipeline/ingest_pipeline.h"
 #include "rules/simplify.h"
 #include "serving/serving_engine.h"
 
@@ -79,6 +82,16 @@ RefinementSession::RefinementSession(const Relation& relation, size_t prefix_row
       generalizer_(relation, options_.generalize),
       specializer_(relation, options_.specialize) {}
 
+RefinementSession::~RefinementSession() {
+  // The last ReleaseEpoch may have attached tracker_ to the pipeline, and a
+  // worker can be inside ExtendPrefix on it right now. Detach first: the
+  // release takes the pipeline's state mutex, so it returns only once no
+  // worker can touch the tracker again.
+  if (options_.pipelined != nullptr) {
+    options_.pipelined->ReleaseEpoch(nullptr, nullptr);
+  }
+}
+
 SessionStats RefinementSession::Refine(RuleSet* rules, Expert* expert,
                                        EditLog* log) {
   return Refine(default_prefix_, rules, expert, log);
@@ -88,7 +101,22 @@ SessionStats RefinementSession::Refine(size_t prefix_rows, RuleSet* rules,
                                        Expert* expert, EditLog* log) {
   RUDOLF_SPAN("session.refine");
   SessionStats stats;
-  size_t prefix = std::min(prefix_rows, relation_.NumRows());
+  size_t prefix;
+  if (options_.pipelined != nullptr) {
+    // Epoch advance: freeze the prefix this whole Refine() call (all inner
+    // rounds) runs against. Workers keep applying rows beyond it but stop
+    // touching the tracker/index until the release below.
+    auto start = std::chrono::steady_clock::now();
+    prefix = options_.pipelined->PinEpoch(prefix_rows);
+    stats.epoch_advance_seconds = SecondsSince(start);
+    stats.epoch = options_.pipelined->epoch();
+    obs::MetricsRegistry::Default()
+        .GetHistogram("pipeline.epoch.advance.seconds")
+        ->Record(stats.epoch_advance_seconds);
+  } else {
+    prefix = std::min(prefix_rows, relation_.NumRows());
+  }
+  stats.frozen_prefix = prefix;
   size_t edits_before = log->size();
   size_t edits_at_last_publish = edits_before;
 
@@ -144,14 +172,32 @@ SessionStats RefinementSession::Refine(size_t prefix_rows, RuleSet* rules,
   stats.expert_seconds =
       stats.generalize.expert_seconds + stats.specialize.expert_seconds;
   stats.edits = log->size() - edits_before;
+  if (options_.pipelined != nullptr) {
+    // Re-open the gate. The persistent tracker rides along only while its
+    // snapshot still matches the rule set the workers would be extending it
+    // for — after a mutating simplify/retirement pass the next round
+    // rebuilds anyway, so attaching would waste worker time on a doomed
+    // tracker.
+    bool attach = options_.persistent_tracker && tracker_ != nullptr &&
+                  tracker_rules_ != nullptr &&
+                  SameRuleSet(*tracker_rules_, *rules);
+    options_.pipelined->ReleaseEpoch(attach ? tracker_.get() : nullptr,
+                                     attach ? tracker_rules_.get() : nullptr);
+  }
   return stats;
 }
 
 void RefinementSession::NotifyVisibleLabelChanged(size_t row, Label old_label,
                                                   Label new_label) {
-  if (tracker_ != nullptr) {
+  if (tracker_ == nullptr) return;
+  if (options_.pipelined != nullptr) {
+    // The tracker may be attached to the pipeline right now, with ingest
+    // workers extending it — serialize the fixup through the same lock.
+    std::lock_guard<std::mutex> g(options_.pipelined->state_mutex());
     tracker_->OnVisibleLabelChanged(row, old_label, new_label);
+    return;
   }
+  tracker_->OnVisibleLabelChanged(row, old_label, new_label);
 }
 
 CaptureTracker* RefinementSession::AcquireTracker(size_t prefix,

@@ -6,6 +6,7 @@
 #ifndef RUDOLF_CORE_SESSION_H_
 #define RUDOLF_CORE_SESSION_H_
 
+#include <cstdint>
 #include <memory>
 
 #include "core/capture_tracker.h"
@@ -17,6 +18,7 @@
 namespace rudolf {
 
 class ServingEngine;
+class IngestPipeline;
 
 /// Configuration of a refinement session.
 struct SessionOptions {
@@ -56,6 +58,19 @@ struct SessionOptions {
   /// threads answer against the freshest refined epoch while the session
   /// keeps running. Not owned; must outlive the session's Refine calls.
   ServingEngine* serving = nullptr;
+  /// Streaming ingest hook: when set, the session is *pipelined* — every
+  /// Refine(prefix_rows, ...) call advances an epoch on this pipeline
+  /// instead of trusting the caller to have stopped appends. The call pins
+  /// a frozen prefix (waiting until at least `prefix_rows` rows are
+  /// applied; SIZE_MAX freezes at whatever has been applied), refines
+  /// against that immutable prefix while ingest workers keep applying rows
+  /// beyond it, and on return re-opens the gate, re-attaching the session's
+  /// persistent tracker so workers extend it toward the live end between
+  /// rounds. Not owned; the pointer must stay valid for the session's whole
+  /// lifetime — the session's destructor detaches its tracker from the
+  /// pipeline (workers may be mid-extension on it), so either teardown
+  /// order is safe, as long as both outlive the relation.
+  IngestPipeline* pipelined = nullptr;
 };
 
 /// Aggregate outcome of a session.
@@ -74,6 +89,11 @@ struct SessionStats {
   /// Condition-cache counters of the session's evaluator at return time
   /// (monotonic since that tracker's build; zeros when indexing is off).
   ConditionCacheStats cache;
+  // Pipelined-mode accounting (zeros when SessionOptions::pipelined is
+  // unset).
+  size_t frozen_prefix = 0;  ///< prefix the epoch froze this call at
+  uint64_t epoch = 0;        ///< pipeline epoch the call refined against
+  double epoch_advance_seconds = 0.0;  ///< wall time inside PinEpoch
 };
 
 /// \brief One refinement session over the visible prefix of a relation.
@@ -93,6 +113,12 @@ class RefinementSession {
   /// prefix-less Refine() overload.
   RefinementSession(const Relation& relation, size_t prefix_rows,
                     SessionOptions options);
+
+  /// Pipelined sessions detach their tracker from the pipeline before it is
+  /// destroyed: an ingest worker may be extending it at this very moment,
+  /// and the detach synchronizes with that through the pipeline's state
+  /// mutex.
+  ~RefinementSession();
 
   /// Runs generalize → specialize rounds over the first `prefix_rows` rows
   /// with the expert until neither pass changes anything or max_rounds is

@@ -79,7 +79,16 @@ std::shared_ptr<const CachedBitmap> ConditionIndex::ConditionBitmap(
 
 void ConditionIndex::ExtendTo(size_t new_prefix) {
   new_prefix = std::min(new_prefix, relation_.NumRows());
-  assert(new_prefix >= prefix_);
+  // A stale or racing caller (an epoch pinned between its prefix read and
+  // this call) may ask for a prefix at or below the current one. Shrinking
+  // would silently corrupt every cached bitmap — the attribute indexes would
+  // re-absorb rows they already hold — so reject it as a checked no-op
+  // instead of a release-stripped assert: the binding already covers
+  // [0, new_prefix), every answer stays correct.
+  if (new_prefix < prefix_) {
+    RUDOLF_COUNTER_INC("index.extend_to.rejected");
+    return;
+  }
   size_t old_prefix = prefix_;
   if (new_prefix != old_prefix) {
     RUDOLF_SPAN("index.extend_to");

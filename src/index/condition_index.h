@@ -74,6 +74,10 @@ class ConditionIndex {
   /// to dropping and rebuilding. Serial-only, like EnsureForRule. Only
   /// valid when the relation grew by pure appends since the last
   /// (re)build/extension — after SetCell rewrites use InvalidateIfGrown.
+  /// A `new_prefix` at or below prefix_rows() is a checked no-op (counted
+  /// as `index.extend_to.rejected` when strictly below): the binding
+  /// already covers those rows, and shrinking would corrupt every cached
+  /// bitmap.
   void ExtendTo(size_t new_prefix);
 
   /// Re-binds to the relation's current rows if it has grown (or shrunk)

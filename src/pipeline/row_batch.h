@@ -1,0 +1,64 @@
+// The unit of streaming ingest: a columnar block of newly arrived
+// transactions with their side arrays, matching Relation's layout so the
+// sequenced apply is a straight per-column bulk insert.
+
+#ifndef RUDOLF_PIPELINE_ROW_BATCH_H_
+#define RUDOLF_PIPELINE_ROW_BATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace rudolf {
+
+/// \brief One producer batch of transactions, columnar.
+///
+/// columns[c] holds the batch's values of attribute c; the three side
+/// arrays run parallel to the rows. Visible labels travel WITH the rows:
+/// in streaming mode a transaction's reported label is part of its arrival
+/// (the chargeback feed), not a separate reveal pass over stored rows.
+struct RowBatch {
+  std::vector<std::vector<CellValue>> columns;
+  std::vector<Label> true_labels;
+  std::vector<Label> visible_labels;
+  std::vector<int> scores;
+
+  size_t rows() const { return true_labels.size(); }
+  bool empty() const { return true_labels.empty(); }
+
+  /// Pre-sizes the batch for `arity` attributes and reserves `rows` slots.
+  static RowBatch WithShape(size_t arity, size_t rows) {
+    RowBatch batch;
+    batch.columns.resize(arity);
+    for (auto& col : batch.columns) col.reserve(rows);
+    batch.true_labels.reserve(rows);
+    batch.visible_labels.reserve(rows);
+    batch.scores.reserve(rows);
+    return batch;
+  }
+
+  /// Copies rows [begin, end) of `source` into a batch — the replay helper
+  /// benches and tests use to stream a pre-generated dataset through the
+  /// pipeline with bit-identical content.
+  static RowBatch FromRelationSlice(const Relation& source, size_t begin,
+                                    size_t end) {
+    size_t arity = source.NumColumns();
+    RowBatch batch = WithShape(arity, end > begin ? end - begin : 0);
+    for (size_t c = 0; c < arity; ++c) {
+      const std::vector<CellValue>& col = source.Column(c);
+      batch.columns[c].assign(col.begin() + static_cast<ptrdiff_t>(begin),
+                              col.begin() + static_cast<ptrdiff_t>(end));
+    }
+    for (size_t r = begin; r < end; ++r) {
+      batch.true_labels.push_back(source.TrueLabel(r));
+      batch.visible_labels.push_back(source.VisibleLabel(r));
+      batch.scores.push_back(source.Score(r));
+    }
+    return batch;
+  }
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_PIPELINE_ROW_BATCH_H_

@@ -1,0 +1,105 @@
+// A bounded, blocking MPMC queue — the hand-off point between transaction
+// producers and the ingest workers (the OpenSync ThreadSafeQueue /
+// TableBatch split). Capacity is the back-pressure mechanism: a full queue
+// blocks Push until a consumer drains, so a slow apply path (e.g. column
+// reallocation waiting out a refinement round) propagates all the way back
+// to the producer instead of buffering unboundedly.
+//
+// Shutdown semantics are drain-then-stop: after Shutdown(), pushes fail
+// immediately, but Pop keeps returning queued items until the queue is
+// empty — nothing accepted before shutdown is ever dropped — and only then
+// returns false to release the consumer.
+
+#ifndef RUDOLF_PIPELINE_THREAD_SAFE_QUEUE_H_
+#define RUDOLF_PIPELINE_THREAD_SAFE_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace rudolf {
+
+/// \brief Bounded blocking queue with back-pressure and drain-on-shutdown.
+template <typename T>
+class ThreadSafeQueue {
+ public:
+  /// `capacity` is clamped below at 1 (a zero-capacity queue could never
+  /// accept an item).
+  explicit ThreadSafeQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  ThreadSafeQueue(const ThreadSafeQueue&) = delete;
+  ThreadSafeQueue& operator=(const ThreadSafeQueue&) = delete;
+
+  /// Blocks while the queue is full (back-pressure). True when the item was
+  /// enqueued; false when the queue was (or became, while waiting) shut
+  /// down — the item is not consumed in that case.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return shutdown_ || items_.size() < capacity_; });
+    if (shutdown_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. On failure (full or shut down) `*item` is left
+  /// intact, so the caller can count the back-pressure event and fall back
+  /// to the blocking Push.
+  bool TryPush(T* item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(*item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty. True with `*out` filled when an item
+  /// was dequeued; false only once the queue is shut down AND drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return shutdown_ || !items_.empty(); });
+    if (items_.empty()) return false;  // shutdown and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Stops accepting pushes and wakes every waiter. Queued items remain
+  /// poppable (drain semantics). Idempotent.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  bool shut_down() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shutdown_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  bool shutdown_ = false;
+};
+
+}  // namespace rudolf
+
+#endif  // RUDOLF_PIPELINE_THREAD_SAFE_QUEUE_H_

@@ -36,7 +36,69 @@ Status Relation::AppendRow(const Tuple& row, Label true_label, Label visible_lab
   visible_labels_.push_back(visible_label);
   ++visible_counts_[static_cast<size_t>(visible_label)];
   scores_.push_back(score);
-  ++num_rows_;
+  // Publish after every cell and side-array slot is written, so concurrent
+  // prefix-bound readers never observe a half-built row.
+  num_rows_.store(true_labels_.size(), std::memory_order_release);
+  return Status::OK();
+}
+
+Status Relation::ValidateBatch(
+    const std::vector<std::vector<CellValue>>& columns,
+    const std::vector<Label>& true_labels,
+    const std::vector<Label>& visible_labels,
+    const std::vector<int>& scores) const {
+  if (columns.size() != schema_->arity()) {
+    return Status::InvalidArgument(
+        "batch arity " + std::to_string(columns.size()) + " != schema arity " +
+        std::to_string(schema_->arity()));
+  }
+  size_t n = true_labels.size();
+  if (visible_labels.size() != n || scores.size() != n) {
+    return Status::InvalidArgument("batch side arrays have unequal lengths");
+  }
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c].size() != n) {
+      return Status::InvalidArgument("batch column " + std::to_string(c) +
+                                     " length != batch row count");
+    }
+    const AttributeDef& def = schema_->attribute(c);
+    if (def.kind != AttrKind::kCategorical) continue;
+    for (CellValue v : columns[c]) {
+      if (!def.ontology->IsValid(static_cast<ConceptId>(v))) {
+        return Status::InvalidArgument("invalid concept id for attribute '" +
+                                       def.name + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void Relation::AppendBatchUnchecked(
+    const std::vector<std::vector<CellValue>>& columns,
+    const std::vector<Label>& true_labels,
+    const std::vector<Label>& visible_labels,
+    const std::vector<int>& scores) {
+  assert(columns.size() == columns_.size());
+  assert(true_labels.size() == visible_labels.size());
+  assert(true_labels.size() == scores.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    columns_[c].insert(columns_[c].end(), columns[c].begin(), columns[c].end());
+  }
+  true_labels_.insert(true_labels_.end(), true_labels.begin(), true_labels.end());
+  visible_labels_.insert(visible_labels_.end(), visible_labels.begin(),
+                         visible_labels.end());
+  for (Label l : visible_labels) ++visible_counts_[static_cast<size_t>(l)];
+  scores_.insert(scores_.end(), scores.begin(), scores.end());
+  num_rows_.store(true_labels_.size(), std::memory_order_release);
+}
+
+Status Relation::AppendBatch(const std::vector<std::vector<CellValue>>& columns,
+                             const std::vector<Label>& true_labels,
+                             const std::vector<Label>& visible_labels,
+                             const std::vector<int>& scores) {
+  Status st = ValidateBatch(columns, true_labels, visible_labels, scores);
+  if (!st.ok()) return st;
+  AppendBatchUnchecked(columns, true_labels, visible_labels, scores);
   return Status::OK();
 }
 
@@ -49,8 +111,9 @@ Tuple Relation::GetRow(size_t row) const {
 std::vector<size_t> Relation::RowsWithVisibleLabel(Label label) const {
   std::vector<size_t> out;
   size_t remaining = CountVisible(label);
+  size_t rows = NumRows();
   out.reserve(remaining);
-  for (size_t r = 0; r < num_rows_ && remaining > 0; ++r) {
+  for (size_t r = 0; r < rows && remaining > 0; ++r) {
     if (visible_labels_[r] == label) {
       out.push_back(r);
       --remaining;
@@ -61,7 +124,8 @@ std::vector<size_t> Relation::RowsWithVisibleLabel(Label label) const {
 
 std::vector<size_t> Relation::RowsWithTrueLabel(Label label) const {
   std::vector<size_t> out;
-  for (size_t r = 0; r < num_rows_; ++r) {
+  size_t rows = NumRows();
+  for (size_t r = 0; r < rows; ++r) {
     if (true_labels_[r] == label) out.push_back(r);
   }
   return out;

@@ -9,11 +9,28 @@
 //                       runner reveals visible labels as time advances.
 //
 // Each row also carries the ML risk score in [0, 1000] (Section 5).
+//
+// Concurrency contract (the streaming ingest pipeline relies on it): the
+// relation supports ONE appender thread at a time concurrent with any number
+// of readers that only touch rows below a prefix they observed via
+// NumRows(). AppendRow/AppendBatchUnchecked write every cell and side-array
+// slot first and publish the grown row count last with release semantics;
+// NumRows() loads it with acquire semantics — so a reader holding
+// `p <= NumRows()` may freely read rows [0, p) while appends continue
+// beyond. Two caveats the appender must enforce:
+//   * no column reallocation while readers are live — appends must stay
+//     within CapacityRows() (grow via Reserve only at quiescent points; the
+//     ingest pipeline's epoch gate is exactly this synchronization);
+//   * CountVisible / RowsWithVisibleLabel / SetVisibleLabel / SetCell are
+//     NOT reader-safe against concurrent appends (the per-label counts are
+//     plain integers) — they belong to the single-threaded maintenance
+//     paths between rounds.
 
 #ifndef RUDOLF_RELATION_RELATION_H_
 #define RUDOLF_RELATION_RELATION_H_
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -31,21 +48,99 @@ class Relation {
  public:
   explicit Relation(std::shared_ptr<const Schema> schema);
 
+  // Copies and moves are valid only at quiescent points (no concurrent
+  // appender or reader) — the atomic row count makes the defaults
+  // ill-formed, so they are spelled out here.
+  Relation(const Relation& other)
+      : schema_(other.schema_),
+        columns_(other.columns_),
+        true_labels_(other.true_labels_),
+        visible_labels_(other.visible_labels_),
+        scores_(other.scores_),
+        visible_counts_(other.visible_counts_),
+        num_rows_(other.num_rows_.load(std::memory_order_acquire)) {}
+  Relation(Relation&& other) noexcept
+      : schema_(std::move(other.schema_)),
+        columns_(std::move(other.columns_)),
+        true_labels_(std::move(other.true_labels_)),
+        visible_labels_(std::move(other.visible_labels_)),
+        scores_(std::move(other.scores_)),
+        visible_counts_(other.visible_counts_),
+        num_rows_(other.num_rows_.load(std::memory_order_acquire)) {}
+  Relation& operator=(const Relation& other) {
+    if (this != &other) {
+      schema_ = other.schema_;
+      columns_ = other.columns_;
+      true_labels_ = other.true_labels_;
+      visible_labels_ = other.visible_labels_;
+      scores_ = other.scores_;
+      visible_counts_ = other.visible_counts_;
+      num_rows_.store(other.num_rows_.load(std::memory_order_acquire),
+                      std::memory_order_release);
+    }
+    return *this;
+  }
+  Relation& operator=(Relation&& other) noexcept {
+    schema_ = std::move(other.schema_);
+    columns_ = std::move(other.columns_);
+    true_labels_ = std::move(other.true_labels_);
+    visible_labels_ = std::move(other.visible_labels_);
+    scores_ = std::move(other.scores_);
+    visible_counts_ = other.visible_counts_;
+    num_rows_.store(other.num_rows_.load(std::memory_order_acquire),
+                    std::memory_order_release);
+    return *this;
+  }
+
   const Schema& schema() const { return *schema_; }
   std::shared_ptr<const Schema> shared_schema() const { return schema_; }
 
-  size_t NumRows() const { return num_rows_; }
+  /// Published row count (acquire): rows [0, NumRows()) are fully written,
+  /// even while an appender thread keeps growing the relation.
+  size_t NumRows() const { return num_rows_.load(std::memory_order_acquire); }
   size_t NumColumns() const { return columns_.size(); }
 
   /// Pre-allocates every column and side array for `num_rows` total rows, so
   /// bulk loaders (generators, dataset readers) append without incremental
-  /// reallocation. No-op if already at least that large.
+  /// reallocation. No-op if already at least that large. NOT safe against
+  /// concurrent readers (reallocation moves the columns) — see the
+  /// concurrency contract above.
   void Reserve(size_t num_rows);
+
+  /// Rows the side arrays can hold before the next append reallocates.
+  /// Columns and side arrays are always reserved in lockstep, so this is
+  /// the bound the concurrent-append contract cares about.
+  size_t CapacityRows() const { return true_labels_.capacity(); }
 
   /// Appends a row. `row.size()` must equal the schema arity; categorical
   /// cells must hold valid concept ids for their ontology.
   Status AppendRow(const Tuple& row, Label true_label = Label::kUnlabeled,
                    Label visible_label = Label::kUnlabeled, int score = 0);
+
+  /// Validates a columnar batch against the schema — arity, equal column
+  /// and side-array lengths, concept-id validity — without mutating
+  /// anything. Thread-safe (reads only the schema), so ingest workers
+  /// validate batches in parallel before the sequenced append applies them.
+  Status ValidateBatch(const std::vector<std::vector<CellValue>>& columns,
+                       const std::vector<Label>& true_labels,
+                       const std::vector<Label>& visible_labels,
+                       const std::vector<int>& scores) const;
+
+  /// Appends a pre-validated columnar batch (see ValidateBatch): each
+  /// columns[c] holds the new rows' values of attribute c. Writes every
+  /// cell first and publishes the grown row count last (release). Single
+  /// appender; concurrent prefix-bound readers stay correct as long as the
+  /// batch fits in CapacityRows().
+  void AppendBatchUnchecked(const std::vector<std::vector<CellValue>>& columns,
+                            const std::vector<Label>& true_labels,
+                            const std::vector<Label>& visible_labels,
+                            const std::vector<int>& scores);
+
+  /// ValidateBatch + AppendBatchUnchecked.
+  Status AppendBatch(const std::vector<std::vector<CellValue>>& columns,
+                     const std::vector<Label>& true_labels,
+                     const std::vector<Label>& visible_labels,
+                     const std::vector<int>& scores);
 
   /// Cell accessors.
   CellValue Get(size_t row, size_t col) const { return columns_[col][row]; }
@@ -102,7 +197,9 @@ class Relation {
   std::vector<int> scores_;
   // Row counts per visible label, indexed by Label's underlying value.
   std::array<size_t, 3> visible_counts_ = {0, 0, 0};
-  size_t num_rows_ = 0;
+  // Published with release by the appender after all of a row's (or
+  // batch's) cells are written; read with acquire by NumRows().
+  std::atomic<size_t> num_rows_{0};
 };
 
 }  // namespace rudolf

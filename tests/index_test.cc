@@ -288,6 +288,54 @@ TEST(ConditionIndex, InvalidateIfGrownRebindsPrefix) {
             before + 1);
 }
 
+TEST(ConditionIndex, ExtendToRejectsNonMonotonicPrefix) {
+  // The extend path must be monotone: a stale or racing caller asking for a
+  // prefix at or below the current binding is a counted no-op, never a
+  // shrink (which would corrupt every cached bitmap) and never an abort.
+  Scenario s = TinyScenario();
+  s.options.num_transactions = 400;
+  Dataset ds = GenerateDataset(s.options);
+  const Schema& schema = *ds.cc.schema;
+  size_t full = ds.relation->NumRows();
+  size_t half = full / 2;
+
+  ConditionIndex index(*ds.relation, half);
+  Rule rule = ParseRule(schema, "risk_score >= 300").ValueOrDie();
+  index.EnsureForRule(rule);
+  size_t attr = schema.IndexOf("risk_score").ValueOrDie();
+  Bitset at_half = index.ConditionBitmap(attr, rule.condition(attr))->ToBitset();
+  ASSERT_EQ(at_half.size(), half);
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Default().Snapshot();
+  index.ExtendTo(half);  // equal prefix: no-op, not an error, not counted
+  EXPECT_EQ(index.prefix_rows(), half);
+  index.ExtendTo(half - 1);  // backwards: rejected and counted
+  EXPECT_EQ(index.prefix_rows(), half);
+  index.ExtendTo(0);  // degenerate backwards request
+  EXPECT_EQ(index.prefix_rows(), half);
+  const obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Default().Snapshot().DeltaSince(before);
+  const obs::CounterSample* rejected = delta.FindCounter("index.extend_to.rejected");
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_EQ(rejected->value, 2u);
+
+  // The rejected calls must not have disturbed the binding: the cached
+  // bitmap still answers for `half`, and a forward extension from here is
+  // bit-identical to a fresh build over the full prefix.
+  EXPECT_EQ(index.ConditionBitmap(attr, rule.condition(attr))->ToBitset(),
+            at_half);
+  index.ExtendTo(full);
+  EXPECT_EQ(index.prefix_rows(), full);
+  ConditionIndex fresh(*ds.relation, full);
+  fresh.EnsureForRule(rule);
+  EXPECT_EQ(index.ConditionBitmap(attr, rule.condition(attr))->ToBitset(),
+            fresh.ConditionBitmap(attr, rule.condition(attr))->ToBitset());
+
+  // And a backwards request after the extension is rejected the same way.
+  index.ExtendTo(half);
+  EXPECT_EQ(index.prefix_rows(), full);
+}
+
 TEST(ConditionIndex, MatchesEvaluatorOnGeneratedData) {
   // Randomized rules over a generated dataset: the facade's intersection
   // semantics must agree with the scan evaluator everywhere.

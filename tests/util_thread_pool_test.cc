@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace rudolf {
@@ -138,6 +139,42 @@ TEST(ThreadPool, ExceptionStillRunsAllChunks) {
   } catch (const std::runtime_error&) {
   }
   EXPECT_EQ(covered.load(), 1000u);
+}
+
+TEST(ThreadPool, ExceptionOnNonIssuingWorkerThreadIsRethrown) {
+  // The prior exception tests don't pin down WHERE the throw happens: with
+  // the issuing thread participating as a worker, the throwing chunk can
+  // land on the issuer, where propagation is trivial. This one forces the
+  // throw onto an owned worker thread — the case where a leak would escape
+  // the episode and std::terminate the process — and checks it is captured
+  // and rethrown on the issuing thread, leaving the pool reusable.
+  ThreadPool pool(4);
+  const std::thread::id issuer = std::this_thread::get_id();
+  std::atomic<bool> worker_threw{false};
+  try {
+    pool.ParallelFor(0, 1000, 1, [&](size_t, size_t) {
+      if (std::this_thread::get_id() != issuer) {
+        worker_threw.store(true, std::memory_order_release);
+        throw std::runtime_error("worker boom");
+      }
+      // Issuer chunks idle until an owned worker has picked one up and
+      // thrown, so the issuer can never drain the range single-handedly.
+      while (!worker_threw.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+    FAIL() << "expected the worker-thread exception on the issuing thread";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker boom");
+  }
+  EXPECT_TRUE(worker_threw.load());
+
+  // The episode must have ended cleanly: the pool still works.
+  std::atomic<size_t> covered{0};
+  pool.ParallelFor(0, 256, 16, [&](size_t lo, size_t hi) {
+    covered.fetch_add(hi - lo, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(covered.load(), 256u);
 }
 
 TEST(ThreadPool, ReentrantParallelForIsRejected) {
