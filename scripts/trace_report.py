@@ -9,6 +9,23 @@ the event count and the p50/p95/max duration. Use it to check the paper's
     RUDOLF_TRACE=run.trace.json build/bench/proposal_latency
     scripts/trace_report.py run.trace.json
 
+The scheduler and fleet layers emit their own spans (`scheduler.episode`
+per ParallelFor episode; `fleet.round` per tenant refinement round;
+`fleet.evict` per budget-eviction pass), so a traced fleet run can be
+narrowed to them with --only:
+
+    RUDOLF_TRACE=fleet.trace.json RUDOLF_FLEET_TENANTS=16 \\
+        build/bench/institute_fleet
+    scripts/trace_report.py fleet.trace.json --only scheduler. --only fleet.
+
+--threshold-s turns the report into a latency gate for CI and bisects: the
+script exits 1 if any reported span's max duration exceeds the bound, so
+
+    scripts/trace_report.py fleet.trace.json --only fleet.round --threshold-s 1
+
+enforces the paper's one-second interactivity budget per tenant round, and
+dropping --only applies the same bound to every span in the trace.
+
 Standard library only.
 """
 
@@ -48,6 +65,14 @@ def main():
         help="row ordering (default: total time, descending)",
     )
     parser.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="PREFIX",
+        help="restrict the report (and --threshold-s) to spans whose name "
+        "starts with PREFIX; repeatable, e.g. --only scheduler. --only fleet.",
+    )
+    parser.add_argument(
         "--threshold-s",
         type=float,
         default=None,
@@ -62,8 +87,13 @@ def main():
         print(f"error: {err}", file=sys.stderr)
         return 2
 
+    if args.only:
+        events = [
+            e for e in events
+            if any(str(e.get("name", "")).startswith(p) for p in args.only)
+        ]
     if not events:
-        print("no complete ('ph': 'X') events in trace")
+        print("no matching complete ('ph': 'X') events in trace")
         return 0
 
     # Durations are in microseconds in the trace; report seconds.

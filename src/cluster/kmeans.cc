@@ -12,13 +12,14 @@ namespace {
 // is already many instructions, so chunks stay small.
 constexpr size_t kPointGrain = 64;
 
-// Runs body(lo, hi) over [0, n), on the pool when one is given. Every
+// Runs body(lo, hi) over [0, n), on the scheduler when one is given. Every
 // parallel site in this file writes state indexed by its own range only, so
-// the pool changes nothing but wall-clock.
-void ForRange(ThreadPool* pool, size_t n, size_t grain,
+// the scheduler changes nothing but wall-clock (ParallelFor is reentrant,
+// so this holds even when clustering itself runs inside another episode).
+void ForRange(TaskScheduler* sched, size_t n, size_t grain,
               const std::function<void(size_t, size_t)>& body) {
-  if (pool != nullptr && !pool->OnWorkerThread()) {
-    pool->ParallelFor(0, n, grain, body);
+  if (sched != nullptr) {
+    sched->ParallelFor(0, n, grain, body);
   } else {
     body(0, n);
   }
@@ -34,10 +35,10 @@ std::vector<std::vector<size_t>> KMedoidsCluster(const Relation& relation,
   if (n == 0) return {};
   size_t k = std::min(options.k, n);
   if (k == 0) k = 1;
-  ThreadPool* pool = options.pool;
+  TaskScheduler* sched = options.sched;
 
   std::vector<Tuple> tuples(n);
-  ForRange(pool, n, kPointGrain, [&](size_t lo, size_t hi) {
+  ForRange(sched, n, kPointGrain, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) tuples[i] = relation.GetRow(rows[i]);
   });
 
@@ -50,7 +51,7 @@ std::vector<std::vector<size_t>> KMedoidsCluster(const Relation& relation,
   while (medoids.size() < k) {
     size_t last = medoids.back();
     std::vector<double> weights(n);
-    ForRange(pool, n, kPointGrain, [&](size_t lo, size_t hi) {
+    ForRange(sched, n, kPointGrain, [&](size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) {
         min_dist[i] = std::min(min_dist[i], metric(tuples[i], tuples[last]));
         weights[i] = min_dist[i] * min_dist[i];
@@ -68,7 +69,7 @@ std::vector<std::vector<size_t>> KMedoidsCluster(const Relation& relation,
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     // Assignment step: nearest medoid per point, independent across points.
     std::atomic<bool> changed{false};
-    ForRange(pool, n, kPointGrain, [&](size_t lo, size_t hi) {
+    ForRange(sched, n, kPointGrain, [&](size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) {
         size_t best = 0;
         double best_d = std::numeric_limits<double>::infinity();
@@ -88,7 +89,7 @@ std::vector<std::vector<size_t>> KMedoidsCluster(const Relation& relation,
     if (!changed.load(std::memory_order_relaxed) && iter > 0) break;
     // Medoid update: the member minimizing the within-cluster distance sum.
     // Independent across clusters; each writes only medoids[c].
-    ForRange(pool, k, 1, [&](size_t c_lo, size_t c_hi) {
+    ForRange(sched, k, 1, [&](size_t c_lo, size_t c_hi) {
       for (size_t c = c_lo; c < c_hi; ++c) {
         std::vector<size_t> members;
         for (size_t i = 0; i < n; ++i) {

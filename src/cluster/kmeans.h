@@ -8,7 +8,7 @@
 
 #include "cluster/distance.h"
 #include "util/random.h"
-#include "util/thread_pool.h"
+#include "util/task_scheduler.h"
 
 namespace rudolf {
 
@@ -17,10 +17,10 @@ struct KMedoidsOptions {
   size_t k = 8;             ///< number of clusters (clamped to |rows|)
   int max_iterations = 20;  ///< assignment/update rounds
   uint64_t seed = 42;       ///< k-means++ seeding randomness
-  /// Optional pool for the seeding-distance / assignment / medoid-update
-  /// steps (all parallel across independent points or clusters, so results
-  /// are identical to the serial path). Null = serial.
-  ThreadPool* pool = nullptr;
+  /// Optional scheduler for the seeding-distance / assignment /
+  /// medoid-update steps (all parallel across independent points or
+  /// clusters, so results are identical to the serial path). Null = serial.
+  TaskScheduler* sched = nullptr;
 };
 
 /// \brief k-medoids over the given rows.

@@ -22,12 +22,11 @@ std::vector<std::vector<size_t>> LeaderCluster(const Relation& relation,
                                                const std::vector<size_t>& rows,
                                                const TupleDistance& metric,
                                                double threshold,
-                                               ThreadPool* pool) {
+                                               TaskScheduler* sched) {
   std::vector<std::vector<size_t>> clusters;
   std::vector<Tuple> leaders;
 
-  if (pool == nullptr || pool->OnWorkerThread() ||
-      rows.size() < kMinParallelRows) {
+  if (sched == nullptr || rows.size() < kMinParallelRows) {
     for (size_t row : rows) {
       Tuple t = relation.GetRow(row);
       bool placed = false;
@@ -52,7 +51,7 @@ std::vector<std::vector<size_t>> LeaderCluster(const Relation& relation,
     const size_t snapshot = leaders.size();
     std::vector<Tuple> tuples(batch);
     std::vector<size_t> match(batch, kNoMatch);
-    pool->ParallelFor(0, batch, 16, [&](size_t lo, size_t hi) {
+    sched->ParallelFor(0, batch, 16, [&](size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) {
         tuples[i] = relation.GetRow(rows[batch_lo + i]);
         for (size_t c = 0; c < snapshot; ++c) {

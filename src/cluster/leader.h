@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "cluster/distance.h"
-#include "util/thread_pool.h"
+#include "util/task_scheduler.h"
 
 namespace rudolf {
 
@@ -19,16 +19,16 @@ namespace rudolf {
 /// founds a new cluster. Returns clusters as row-index groups in foundation
 /// order.
 ///
-/// With a pool, rows are processed in batches: each batch's rows find their
-/// first matching leader among the leaders that existed at batch start in
-/// parallel, then commit serially in scan order (checking only the leaders
-/// founded within the batch, which all have larger indices than any
+/// With a scheduler, rows are processed in batches: each batch's rows find
+/// their first matching leader among the leaders that existed at batch start
+/// in parallel, then commit serially in scan order (checking only the
+/// leaders founded within the batch, which all have larger indices than any
 /// precomputed match). The clustering is exactly the serial one.
 std::vector<std::vector<size_t>> LeaderCluster(const Relation& relation,
                                                const std::vector<size_t>& rows,
                                                const TupleDistance& metric,
                                                double threshold,
-                                               ThreadPool* pool = nullptr);
+                                               TaskScheduler* sched = nullptr);
 
 }  // namespace rudolf
 

@@ -3,6 +3,8 @@
 #include "cluster/kmeans.h"
 #include "cluster/leader.h"
 #include "cluster/streaming_kmeans.h"
+#include "util/task_scheduler.h"
+#include "util/thread_pool.h"  // ResolveNumThreads
 
 namespace rudolf {
 
@@ -25,8 +27,8 @@ std::vector<std::vector<size_t>> ClusterRows(const Relation& relation,
   TupleDistance metric(relation.shared_schema(),
                        ScaledDistanceOptions(relation, rows));
   int threads = ResolveNumThreads(options.num_threads);
-  ThreadPool* pool = threads > 1 ? ThreadPool::Shared(threads) : nullptr;
-  if (pool != nullptr) {
+  TaskScheduler* sched = threads > 1 ? TaskScheduler::Shared(threads) : nullptr;
+  if (sched != nullptr) {
     // The metric queries ontologies whose ancestor/leaf-set caches build
     // lazily; warm them before distances are taken from worker threads.
     const Schema& schema = relation.schema();
@@ -38,12 +40,12 @@ std::vector<std::vector<size_t>> ClusterRows(const Relation& relation,
   switch (options.strategy) {
     case ClusteringStrategy::kLeader:
       return LeaderCluster(relation, rows, metric, options.leader_threshold,
-                           pool);
+                           sched);
     case ClusteringStrategy::kKMedoids: {
       KMedoidsOptions ko;
       ko.k = options.k;
       ko.seed = options.seed;
-      ko.pool = pool;
+      ko.sched = sched;
       return KMedoidsCluster(relation, rows, metric, ko);
     }
     case ClusteringStrategy::kStreamingKMeans: {

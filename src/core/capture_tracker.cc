@@ -191,4 +191,17 @@ void CaptureTracker::ApplyRemove(RuleId id) {
   captures_.erase(it);
 }
 
+size_t CaptureTracker::ApproxMemoryBytes() const {
+  size_t bytes = evaluator_.ApproxMemoryBytes();
+  bytes += cover_count_.capacity() * sizeof(uint32_t);
+  for (const auto& entry : captures_) {
+    bytes += sizeof(RuleId) + entry.second.WordCount() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+void CaptureTracker::ReleaseCachedBitmaps() {
+  evaluator_.ReleaseCachedBitmaps();
+}
+
 }  // namespace rudolf

@@ -97,6 +97,18 @@ class CaptureTracker {
   void ApplyAdd(RuleId id, Bitset capture);
   void ApplyRemove(RuleId id);
 
+  /// Approximate heap bytes held: per-rule capture bitmaps, cover counts,
+  /// and the evaluator's caches (condition index + bitmap cache + masks).
+  /// The fleet's per-tenant accounting; call only while the tracker is
+  /// quiescent.
+  size_t ApproxMemoryBytes() const;
+
+  /// Tier-1 fleet eviction: drops the evaluator's condition-bitmap cache
+  /// (the captures and cover counts stay). Later candidate evaluations
+  /// re-extract on demand, bit-identically. Quiescent-only, like
+  /// ApproxMemoryBytes.
+  void ReleaseCachedBitmaps();
+
  private:
   // Classifies the row-coverage transition of replacing old with new.
   BenefitDelta DeltaBetween(const Bitset& old_capture,

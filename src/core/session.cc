@@ -243,4 +243,20 @@ void RefinementSession::SnapshotRules(const RuleSet& rules) {
   tracker_rules_ = std::make_unique<RuleSet>(rules);
 }
 
+size_t RefinementSession::HeldMemoryBytes() const {
+  if (tracker_ == nullptr || options_.pipelined != nullptr) return 0;
+  return tracker_->ApproxMemoryBytes();
+}
+
+void RefinementSession::ReleaseCachedBitmaps() {
+  if (tracker_ == nullptr || options_.pipelined != nullptr) return;
+  tracker_->ReleaseCachedBitmaps();
+}
+
+void RefinementSession::ReleaseTracker() {
+  if (options_.pipelined != nullptr) return;
+  tracker_.reset();
+  tracker_rules_.reset();
+}
+
 }  // namespace rudolf

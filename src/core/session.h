@@ -137,6 +137,26 @@ class RefinementSession {
   /// held (rebuild mode, or before the first Refine).
   void NotifyVisibleLabelChanged(size_t row, Label old_label, Label new_label);
 
+  /// Approximate heap bytes held by the session's persistent tracker
+  /// (capture bitmaps + condition index + caches); 0 when no tracker is
+  /// held. Fleet memory accounting — call only between Refine() calls, and
+  /// only on non-pipelined sessions (a pipelined session's tracker may be
+  /// under concurrent extension by ingest workers; reported as 0).
+  size_t HeldMemoryBytes() const;
+
+  /// Tier-1 fleet eviction: drops the held tracker's cached condition
+  /// bitmaps (attribute indexes, captures and cover counts stay); later
+  /// rounds re-extract on demand, bit-identically. No-op when no tracker is
+  /// held or the session is pipelined.
+  void ReleaseCachedBitmaps();
+
+  /// Tier-2 fleet eviction: discards the persistent tracker entirely — the
+  /// next Refine() rebuilds it from scratch, which is bit-identical to
+  /// having extended it (DESIGN.md "Incremental append path"), just slower.
+  /// No-op when the session is pipelined (ingest workers may hold the
+  /// attached tracker).
+  void ReleaseTracker();
+
  private:
   // Returns a tracker over `prefix` rows that is consistent with `rules`:
   // in persistent mode the held tracker is reused (extended over the new

@@ -66,6 +66,12 @@ size_t NumericAttributeIndex::DeltaCompactionThreshold() const {
   return std::max(kMinChunk, main_rows_ / 8);
 }
 
+size_t NumericAttributeIndex::ApproxMemoryBytes() const {
+  size_t bytes = (sorted_.capacity() + delta_.capacity()) * sizeof(Entry);
+  for (const Bitset& b : cum_) bytes += b.WordCount() * sizeof(uint64_t);
+  return bytes;
+}
+
 void NumericAttributeIndex::AppendRows(const std::vector<CellValue>& column,
                                        size_t new_prefix) {
   assert(new_prefix >= prefix_);
@@ -216,6 +222,16 @@ size_t CategoricalAttributeIndex::packed_postings() const {
   size_t n = 0;
   for (const Posting& p : postings_) n += p.packed ? 1 : 0;
   return n;
+}
+
+size_t CategoricalAttributeIndex::ApproxMemoryBytes() const {
+  size_t bytes = slot_.size() * (sizeof(ConceptId) + 2 * sizeof(size_t));
+  for (const Posting& p : postings_) {
+    bytes += sizeof(Posting);
+    bytes += p.packed ? p.bits.MemoryBytes()
+                      : p.dense.WordCount() * sizeof(uint64_t);
+  }
+  return bytes;
 }
 
 void CategoricalAttributeIndex::AppendRows(const std::vector<CellValue>& column,

@@ -62,6 +62,9 @@ class NumericAttributeIndex {
 
   size_t delta_size() const { return delta_.size(); }  ///< for tests/benches
 
+  /// Approximate heap bytes of the sorted segments and cumulative bitmaps.
+  size_t ApproxMemoryBytes() const;
+
  private:
   struct Entry {
     CellValue value;
@@ -115,6 +118,10 @@ class CategoricalAttributeIndex {
   size_t num_postings() const { return postings_.size(); }
   /// Postings currently stored compressed — for tests/benches.
   size_t packed_postings() const;
+
+  /// Approximate heap bytes of the postings (dense or compressed) and the
+  /// value→slot map.
+  size_t ApproxMemoryBytes() const;
 
  private:
   // One distinct stored value's rows. Dense coming out of the build or when

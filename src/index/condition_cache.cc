@@ -69,4 +69,14 @@ ConditionCacheStats ConditionCache::stats() const {
   return stats_;
 }
 
+size_t ConditionCache::ApproxMemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = 0;
+  for (const auto& [key, bitmap] : lru_) {
+    bytes += sizeof(key) + sizeof(bitmap);
+    if (bitmap != nullptr) bytes += bitmap->MemoryBytes();
+  }
+  return bytes;
+}
+
 }  // namespace rudolf

@@ -92,6 +92,11 @@ class ConditionCache {
   /// Drops every entry (stats are reset too).
   void Clear();
 
+  /// Approximate heap bytes of the cached bitmaps (plus per-entry key
+  /// overhead) — the fleet's eviction-accounting granularity. Takes the
+  /// cache lock.
+  size_t ApproxMemoryBytes() const;
+
   size_t size() const;
   size_t capacity() const { return capacity_; }
   ConditionCacheStats stats() const;

@@ -149,4 +149,15 @@ bool ConditionIndex::InvalidateIfGrown() {
   return true;
 }
 
+size_t ConditionIndex::ApproxMemoryBytes() const {
+  size_t bytes = cache_.ApproxMemoryBytes();
+  for (const auto& idx : numeric_) {
+    if (idx != nullptr) bytes += idx->ApproxMemoryBytes();
+  }
+  for (const auto& idx : categorical_) {
+    if (idx != nullptr) bytes += idx->ApproxMemoryBytes();
+  }
+  return bytes;
+}
+
 }  // namespace rudolf

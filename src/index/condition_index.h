@@ -87,6 +87,15 @@ class ConditionIndex {
 
   ConditionCacheStats cache_stats() const { return cache_.stats(); }
 
+  /// Approximate heap bytes held: built attribute indexes plus the
+  /// condition-bitmap cache. The fleet's per-tenant accounting reads this.
+  size_t ApproxMemoryBytes() const;
+
+  /// Drops every cached condition bitmap (tier-1 fleet eviction), keeping
+  /// the attribute indexes — later evaluations re-extract on demand,
+  /// bit-identically, at one extraction per condition.
+  void ReleaseCachedBitmaps() { cache_.Clear(); }
+
  private:
   const Relation& relation_;
   size_t requested_prefix_;

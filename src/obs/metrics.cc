@@ -110,6 +110,10 @@ MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& earlier) cons
     }
     if (now.value > base) delta.counters.push_back({now.name, now.value - base});
   }
+  // Gauges are levels: the windowed reading *is* the current value.
+  for (const GaugeSample& now : gauges) {
+    if (now.value != 0) delta.gauges.push_back(now);
+  }
   for (const HistogramSample& now : histograms) {
     const HistogramSample* then = earlier.FindHistogram(now.name);
     HistogramSample d = now;
@@ -132,6 +136,13 @@ const CounterSample* MetricsSnapshot::FindCounter(const std::string& name) const
   return nullptr;
 }
 
+const GaugeSample* MetricsSnapshot::FindGauge(const std::string& name) const {
+  for (const GaugeSample& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
 const HistogramSample* MetricsSnapshot::FindHistogram(
     const std::string& name) const {
   for (const HistogramSample& h : histograms) {
@@ -150,6 +161,13 @@ std::string MetricsSnapshot::ToJson(int indent) const {
     AppendNumber(&out, static_cast<double>(counters[i].value));
   }
   out += (counters.empty() ? std::string() : "\n" + pad + "  ") + "},\n";
+  out += pad + "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += (i > 0 ? ",\n" : "\n") + pad + "    \"" + JsonEscape(gauges[i].name) +
+           "\": ";
+    AppendNumber(&out, static_cast<double>(gauges[i].value));
+  }
+  out += (gauges.empty() ? std::string() : "\n" + pad + "  ") + "},\n";
   out += pad + "  \"histograms\": {";
   for (size_t i = 0; i < histograms.size(); ++i) {
     const HistogramSample& h = histograms[i];
@@ -195,6 +213,13 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
   return slot.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
@@ -208,6 +233,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     snap.counters.push_back({name, counter->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->Value()});
   }
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, hist] : histograms_) {

@@ -69,6 +69,23 @@ class Counter {
   std::array<Shard, kShards> shards_{};
 };
 
+/// \brief Signed level metric — a quantity that goes up *and* down, like
+/// bytes currently held by the fleet's caches.
+///
+/// Counters are monotonic by contract (deltas between snapshots are
+/// meaningful); a gauge reports its instantaneous value instead, so
+/// DeltaSince passes gauges through unchanged. Relaxed atomics, same
+/// eventual-consistency promise as Counter.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 /// \brief Fixed-bucket latency histogram over power-of-two microsecond
 /// boundaries.
 ///
@@ -113,6 +130,12 @@ struct CounterSample {
   uint64_t value = 0;
 };
 
+/// One gauge's value at snapshot time.
+struct GaugeSample {
+  std::string name;
+  int64_t value = 0;
+};
+
 /// One histogram's state at snapshot time.
 struct HistogramSample {
   std::string name;
@@ -130,15 +153,18 @@ struct HistogramSample {
 /// JSON-serializable.
 struct MetricsSnapshot {
   std::vector<CounterSample> counters;      // sorted by name
+  std::vector<GaugeSample> gauges;          // sorted by name
   std::vector<HistogramSample> histograms;  // sorted by name
 
   /// This snapshot minus `earlier` (names matched; metrics absent from
   /// `earlier` keep their full value; zero-delta counters are dropped).
   /// Histogram max is *not* differenced — it reports the max since
-  /// registration, the honest reading for a windowed delta.
+  /// registration, the honest reading for a windowed delta. Gauges are
+  /// levels, not rates: they pass through with their current value.
   MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
 
   const CounterSample* FindCounter(const std::string& name) const;
+  const GaugeSample* FindGauge(const std::string& name) const;
   const HistogramSample* FindHistogram(const std::string& name) const;
 
   /// JSON object `{"counters": {...}, "histograms": {...}}`. `indent` is the
@@ -157,6 +183,7 @@ class MetricsRegistry {
   static MetricsRegistry& Default();
 
   Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
   MetricsSnapshot Snapshot() const;
@@ -171,6 +198,7 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   // std::map: stable addresses via unique_ptr and name-sorted snapshots.
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

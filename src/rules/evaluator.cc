@@ -39,7 +39,7 @@ RuleEvaluator::RuleEvaluator(const Relation& relation, size_t prefix_rows,
     : relation_(relation),
       num_rows_(std::min(prefix_rows, relation.NumRows())),
       num_threads_(ResolveNumThreads(options.num_threads)),
-      pool_(num_threads_ > 1 ? ThreadPool::Shared(num_threads_) : nullptr),
+      sched_(num_threads_ > 1 ? TaskScheduler::Shared(num_threads_) : nullptr),
       index_(ResolveUseIndex(options.use_index)
                  ? std::make_unique<ConditionIndex>(relation, num_rows_)
                  : nullptr) {}
@@ -75,15 +75,19 @@ void RuleEvaluator::EvalRulesRange(const RuleSet& rules,
   assert(ids.size() == outs.size());
   RUDOLF_SPAN("eval.rules_range");
   RUDOLF_COUNTER_ADD("eval.rule.range_scans", ids.size());
-  if (pool_ != nullptr && ids.size() > 1 && !pool_->OnWorkerThread()) {
-    // Serially warm the concept-mask cache so the workers' range scans only
+  if (sched_ != nullptr && ids.size() > 1 &&
+      !TaskScheduler::InRegionTagged(this)) {
+    // Serially warm the concept-mask cache so the helpers' range scans only
     // read shared state (the range path never touches the condition index).
     for (RuleId id : ids) EnsureMasks(rules.Get(id));
-    pool_->ParallelFor(0, ids.size(), 1, [&](size_t a, size_t b) {
-      for (size_t i = a; i < b; ++i) {
-        EvalRuleRange(rules.Get(ids[i]), lo, hi, outs[i]);
-      }
-    });
+    sched_->ParallelFor(
+        0, ids.size(), 1,
+        [&](size_t a, size_t b) {
+          for (size_t i = a; i < b; ++i) {
+            EvalRuleRange(rules.Get(ids[i]), lo, hi, outs[i]);
+          }
+        },
+        /*tag=*/this);
   } else {
     for (size_t i = 0; i < ids.size(); ++i) {
       EvalRuleRange(rules.Get(ids[i]), lo, hi, outs[i]);
@@ -275,22 +279,27 @@ Bitset RuleEvaluator::EvalRule(const Rule& rule) const {
   }
   if (index_ != nullptr) {
     // Attribute indexes may only be built from the coordinating thread;
-    // worker-thread calls (EvalRules fan-out) find them pre-built and take
-    // the read-only path, or fall back to the (bit-identical) scan.
-    if (pool_ == nullptr || !pool_->OnWorkerThread()) index_->EnsureForRule(rule);
+    // calls inside this evaluator's own fan-out (EvalRules) find them
+    // pre-built and take the read-only path, or fall back to the
+    // (bit-identical) scan.
+    if (sched_ == nullptr || !TaskScheduler::InRegionTagged(this)) {
+      index_->EnsureForRule(rule);
+    }
     if (index_->ReadyForRule(rule)) {
       RUDOLF_COUNTER_INC("eval.rule.indexed");
       return EvalRuleIndexed(rule, conditions);
     }
   }
   RUDOLF_COUNTER_INC("eval.rule.scan");
-  if (pool_ != nullptr && num_rows_ >= kMinParallelRows &&
-      !pool_->OnWorkerThread()) {
+  if (sched_ != nullptr && num_rows_ >= kMinParallelRows &&
+      !TaskScheduler::InRegionTagged(this)) {
     EnsureMasks(rule);
-    pool_->ParallelFor(0, num_rows_, kRowBlockGrain,
-                       [&](size_t lo, size_t hi) {
-                         EvalRuleBlock(rule, conditions, lo, hi, &out);
-                       });
+    sched_->ParallelFor(
+        0, num_rows_, kRowBlockGrain,
+        [&](size_t lo, size_t hi) {
+          EvalRuleBlock(rule, conditions, lo, hi, &out);
+        },
+        /*tag=*/this);
   } else {
     EvalRuleBlock(rule, conditions, 0, num_rows_, &out);
   }
@@ -300,9 +309,10 @@ Bitset RuleEvaluator::EvalRule(const Rule& rule) const {
 std::vector<Bitset> RuleEvaluator::EvalRules(const RuleSet& rules,
                                              const std::vector<RuleId>& ids) const {
   std::vector<Bitset> bitmaps(ids.size());
-  if (pool_ != nullptr && ids.size() > 1 && !pool_->OnWorkerThread()) {
+  if (sched_ != nullptr && ids.size() > 1 &&
+      !TaskScheduler::InRegionTagged(this)) {
     // Serially warm the condition index (or the mask cache on the scan
-    // path) so the workers' EvalRule calls only read shared state.
+    // path) so the helpers' EvalRule calls only read shared state.
     for (RuleId id : ids) {
       if (index_ != nullptr) {
         index_->EnsureForRule(rules.Get(id));
@@ -310,9 +320,14 @@ std::vector<Bitset> RuleEvaluator::EvalRules(const RuleSet& rules,
         EnsureMasks(rules.Get(id));
       }
     }
-    pool_->ParallelFor(0, ids.size(), 1, [&](size_t lo, size_t hi) {
-      for (size_t i = lo; i < hi; ++i) bitmaps[i] = EvalRule(rules.Get(ids[i]));
-    });
+    sched_->ParallelFor(
+        0, ids.size(), 1,
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            bitmaps[i] = EvalRule(rules.Get(ids[i]));
+          }
+        },
+        /*tag=*/this);
   } else {
     for (size_t i = 0; i < ids.size(); ++i) bitmaps[i] = EvalRule(rules.Get(ids[i]));
   }
@@ -323,14 +338,18 @@ Bitset RuleEvaluator::EvalRuleSet(const RuleSet& rules) const {
   RUDOLF_SPAN("eval.rule_set");
   std::vector<RuleId> ids = rules.LiveIds();
   Bitset out(num_rows_);
-  if (pool_ != nullptr && ids.size() > 1 && !pool_->OnWorkerThread()) {
+  if (sched_ != nullptr && ids.size() > 1 &&
+      !TaskScheduler::InRegionTagged(this)) {
     std::vector<Bitset> bitmaps = EvalRules(rules, ids);
     // Parallel union over word-aligned row ranges: every worker ORs all
     // bitmaps into its own disjoint slice of `out`. Bitwise OR commutes, so
     // the result is independent of the partition.
-    pool_->ParallelFor(0, num_rows_, kRowBlockGrain, [&](size_t lo, size_t hi) {
-      for (const Bitset& b : bitmaps) out.OrRange(b, lo, hi);
-    });
+    sched_->ParallelFor(
+        0, num_rows_, kRowBlockGrain,
+        [&](size_t lo, size_t hi) {
+          for (const Bitset& b : bitmaps) out.OrRange(b, lo, hi);
+        },
+        /*tag=*/this);
   } else {
     for (RuleId id : ids) out |= EvalRule(rules.Get(id));
   }
@@ -371,6 +390,17 @@ LabelCounts RuleEvaluator::CountsTrue(const Bitset& captured) const {
 
 LabelCounts RuleEvaluator::RuleCountsVisible(const Rule& rule) const {
   return CountsVisible(EvalRule(rule));
+}
+
+size_t RuleEvaluator::ApproxMemoryBytes() const {
+  size_t bytes = 0;
+  if (index_ != nullptr) bytes += index_->ApproxMemoryBytes();
+  for (const auto& entry : mask_cache_) bytes += entry.second.capacity();
+  return bytes;
+}
+
+void RuleEvaluator::ReleaseCachedBitmaps() {
+  if (index_ != nullptr) index_->ReleaseCachedBitmaps();
 }
 
 }  // namespace rudolf

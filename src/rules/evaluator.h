@@ -2,10 +2,12 @@
 // capture bitmaps (one bit per row) and label-partitioned counts — the raw
 // material of the benefit term α·ΔF + β·ΔL + γ·ΔR.
 //
-// Evaluation optionally runs on a ThreadPool (see EvalOptions): rule sets
-// parallelize across rules, single rules across word-aligned row blocks of
-// the columnar scan. Both decompositions produce bit-identical bitmaps to
-// the serial path — see DESIGN.md "Parallel evaluation pipeline".
+// Evaluation optionally runs on the shared work-stealing TaskScheduler (see
+// EvalOptions): rule sets parallelize across rules, single rules across
+// word-aligned row blocks of the columnar scan. Both decompositions produce
+// bit-identical bitmaps to the serial path — see DESIGN.md "Parallel
+// evaluation pipeline" — and episodes issued by concurrent evaluators
+// (fleet tenants) interleave freely on the one scheduler.
 //
 // By default rules are evaluated through the condition index (src/index/):
 // each non-trivial condition's capture bitmap is extracted once from a
@@ -26,17 +28,19 @@
 #include "relation/relation.h"
 #include "rules/rule_set.h"
 #include "util/bitset.h"
-#include "util/thread_pool.h"
+#include "util/task_scheduler.h"
+#include "util/thread_pool.h"  // ResolveNumThreads
 
 namespace rudolf {
 
 /// Parallelism knobs for rule evaluation, threaded through
 /// GeneralizeOptions / SpecializeOptions / SessionOptions.
 struct EvalOptions {
-  /// 1 (default): the serial code path, no pool involved. 0: all hardware
-  /// threads. n > 1: a shared pool of n threads. Whatever is configured,
-  /// the `RUDOLF_THREADS` environment variable overrides it (see
-  /// ResolveNumThreads).
+  /// 1 (default): the serial code path, no scheduler involved. 0: all
+  /// hardware threads. n > 1: the process-wide TaskScheduler (sized at
+  /// least n at first use; see TaskScheduler::Shared). Whatever is
+  /// configured, the `RUDOLF_THREADS` environment variable overrides it
+  /// (see ResolveNumThreads).
   int num_threads = 1;
   /// Condition-indexed evaluation (default on): rule captures are computed
   /// as intersections of LRU-cached per-condition bitmaps backed by
@@ -131,6 +135,18 @@ class RuleEvaluator {
   /// indexing is disabled (EvalOptions::use_index / RUDOLF_INDEX=0).
   const ConditionIndex* condition_index() const { return index_.get(); }
 
+  /// Approximate heap bytes held by the evaluator's caches: the condition
+  /// index (attribute indexes + bitmap cache) and the concept-mask cache.
+  /// The fleet's per-tenant memory accounting reads this; call only from a
+  /// quiescent session (no concurrent evaluation).
+  size_t ApproxMemoryBytes() const;
+
+  /// Drops every cached condition bitmap (tier-1 fleet eviction); attribute
+  /// indexes and concept masks stay, and later evaluations re-extract on
+  /// demand, bit-identically. No-op when indexing is disabled. Call only
+  /// from a quiescent session.
+  void ReleaseCachedBitmaps();
+
  private:
   // Membership mask for "value's concept is contained in `concept`" within
   // `ontology`: mask[v] != 0 iff Contains(concept, v).
@@ -168,7 +184,12 @@ class RuleEvaluator {
   const Relation& relation_;
   size_t num_rows_;
   int num_threads_;
-  ThreadPool* pool_;  // null iff num_threads_ <= 1
+  // Shared work-stealing scheduler; null iff num_threads_ <= 1. Episodes
+  // are tagged with `this`, so InRegionTagged(this) distinguishes "inside
+  // one of *my* parallel regions" (read-only fan-out work) from a fresh
+  // coordinating call — even when this whole evaluator runs nested inside
+  // some other object's episode (fleet mode).
+  TaskScheduler* sched_;
   // Condition index + bitmap cache of the indexed evaluation path; null
   // when disabled. Attribute indexes inside are built lazily, only from the
   // coordinating thread (mirroring mask_cache_'s EnsureMasks discipline).

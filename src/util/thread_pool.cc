@@ -5,9 +5,9 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
-#include <stdexcept>
 
 #include "obs/metrics.h"
+#include "util/logging.h"
 
 namespace rudolf {
 
@@ -76,7 +76,14 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
                              const std::function<void(size_t, size_t)>& body) {
   if (end <= begin) return;
   if (OnWorkerThread()) {
-    throw std::logic_error("ThreadPool::ParallelFor is not reentrant");
+    // Nesting the gang would deadlock (the inner call would wait at the
+    // gate the outer episode holds). Composed parallel code paths hit this
+    // legitimately, so degrade to serial inline execution instead of
+    // throwing — the result is identical, only the inner level loses its
+    // parallelism.
+    RUDOLF_COUNTER_INC("threadpool.nested_serial");
+    body(begin, end);
+    return;
   }
   if (grain == 0) grain = 1;
   const size_t n = end - begin;
@@ -117,9 +124,13 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     // External callers may race to issue episodes; one gang, one at a time.
     std::unique_lock<std::mutex> lock(mu_);
     if (busy_ && issuer_ == std::this_thread::get_id()) {
-      // The issuing thread called back into its own episode (e.g. from the
-      // caller-run chunk); waiting on the gate would deadlock.
-      throw std::logic_error("ThreadPool::ParallelFor is not reentrant");
+      // The issuing thread called back into its own episode outside a
+      // caller-run chunk (where OnWorkerThread() would have caught it);
+      // waiting on the gate would deadlock, so run serial inline.
+      lock.unlock();
+      RUDOLF_COUNTER_INC("threadpool.nested_serial");
+      body(begin, end);
+      return;
     }
     gate_cv_.wait(lock, [&] { return !busy_; });
     busy_ = true;
@@ -149,14 +160,35 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
 }
 
 ThreadPool* ThreadPool::Shared(int num_threads) {
+  // Each distinct size leaks a full gang of OS threads, so the registry is
+  // capped: misconfigured fleets asking for many sizes get the largest
+  // existing pool (never more threads) instead of multiplying workers.
+  constexpr size_t kMaxSharedPoolSizes = 4;
   num_threads = std::max(num_threads, 1);
   static std::mutex* registry_mu = new std::mutex;
   // Leaked deliberately: shared pools (and their worker threads) must
   // survive static destruction of arbitrary clients.
   static auto* registry = new std::map<int, std::unique_ptr<ThreadPool>>;
   std::lock_guard<std::mutex> lock(*registry_mu);
+  auto it = registry->find(num_threads);
+  if (it != registry->end()) return it->second.get();
+  if (registry->size() >= kMaxSharedPoolSizes) {
+    ThreadPool* largest = registry->rbegin()->second.get();
+    RUDOLF_LOG(Warning) << "ThreadPool::Shared(" << num_threads
+                        << "): registry already holds " << registry->size()
+                        << " pool sizes; reusing the " << largest->num_threads()
+                        << "-thread pool instead of spawning another gang";
+    return largest;
+  }
+  if (!registry->empty()) {
+    RUDOLF_LOG(Warning) << "ThreadPool::Shared(" << num_threads
+                        << ") creates a second pool size (each size keeps its "
+                           "own gang of threads alive for the process "
+                           "lifetime); prefer one size, or "
+                           "TaskScheduler::Shared for concurrent issuers";
+  }
   std::unique_ptr<ThreadPool>& slot = (*registry)[num_threads];
-  if (!slot) slot = std::make_unique<ThreadPool>(num_threads);
+  slot = std::make_unique<ThreadPool>(num_threads);
   return slot.get();
 }
 

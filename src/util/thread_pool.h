@@ -1,9 +1,13 @@
 // A fixed-size fork-join worker pool (deliberately work-stealing-free) and
-// the ParallelFor range splitter built on it. This is the only concurrency
-// primitive of the engine: every parallel hot path — rule-set evaluation,
-// capture-bitmap builds, row-block columnar scans, clustering assignment —
-// expresses itself as a ParallelFor over disjoint index ranges, which keeps
-// the parallel results bit-identical to the serial ones by construction.
+// the ParallelFor range splitter built on it. Historically the only
+// concurrency primitive of the engine; the parallel hot paths — rule-set
+// evaluation, capture-bitmap builds, row-block columnar scans, clustering
+// assignment — have since moved to the reentrant, multi-issuer
+// TaskScheduler (util/task_scheduler.h). The gang pool remains as the
+// legacy shim for single-issuer callers and as the serialization baseline
+// the fleet bench compares against; the ParallelFor contract (deterministic
+// chunk boundaries → bit-identical results at every thread count) is shared
+// by both.
 
 #ifndef RUDOLF_UTIL_THREAD_POOL_H_
 #define RUDOLF_UTIL_THREAD_POOL_H_
@@ -62,18 +66,23 @@ class ThreadPool {
   /// minimum chunk size: ranges not longer than one grain run inline on the
   /// caller.
   ///
-  /// Throws std::logic_error when called from inside one of this pool's own
-  /// bodies — from a worker thread or re-entrantly from the issuing thread's
-  /// caller-run chunk (nesting the same gang would deadlock; callers branch
-  /// on OnWorkerThread() to fall back to serial code instead). If bodies
-  /// throw, every chunk still runs and the first exception is rethrown on
-  /// the calling thread afterwards.
+  /// Reentrant calls — from a worker thread, or from the issuing thread
+  /// inside its own episode — cannot nest the gang (that would deadlock at
+  /// the episode gate), so they degrade to serial inline execution of
+  /// `body(begin, end)` and bump the `threadpool.nested_serial` counter.
+  /// The results are identical; only the inner level loses parallelism.
+  /// Callers may still branch on OnWorkerThread() to pick a cheaper serial
+  /// path explicitly. If bodies throw, every chunk still runs and the first
+  /// exception is rethrown on the calling thread afterwards.
   void ParallelFor(size_t begin, size_t end, size_t grain,
                    const std::function<void(size_t, size_t)>& body);
 
   /// Process-wide pool of exactly `num_threads`, created on first use and
   /// shared by every caller requesting that size. Never destroyed (workers
-  /// must outlive static teardown of any user).
+  /// must outlive static teardown of any user). The registry holds at most
+  /// a few distinct sizes — creating a second size logs a warning, and once
+  /// the cap is reached further sizes reuse the largest existing pool
+  /// rather than spawning another gang.
   static ThreadPool* Shared(int num_threads);
 
  private:

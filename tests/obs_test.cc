@@ -310,6 +310,52 @@ TEST(MetricsRegistryTest, SnapshotDeltaIsolatesTheWindow) {
   EXPECT_EQ(delta.FindCounter("obs_test.delta_untouched"), nullptr);
 }
 
+TEST(GaugeTest, SetAddAndValue) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0);
+  g.Set(42);
+  EXPECT_EQ(g.Value(), 42);
+  g.Add(-50);
+  EXPECT_EQ(g.Value(), -8);  // gauges are signed levels, not counters
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7);
+}
+
+TEST(GaugeTest, RegistryPointerIsStable) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  EXPECT_EQ(reg.GetGauge("obs_test.stable_g"), reg.GetGauge("obs_test.stable_g"));
+}
+
+TEST(GaugeTest, SnapshotReportsLevelAndDeltaPassesThrough) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  Gauge* g = reg.GetGauge("obs_test.gauge_level");
+  g->Set(100);
+  MetricsSnapshot before = reg.Snapshot();
+  g->Set(60);  // down as well as up — a counter could not do this
+  MetricsSnapshot now = reg.Snapshot();
+  const GaugeSample* level = now.FindGauge("obs_test.gauge_level");
+  ASSERT_NE(level, nullptr);
+  EXPECT_EQ(level->value, 60);
+  // Gauges are levels, not rates: DeltaSince reports the current value, not
+  // the difference.
+  MetricsSnapshot delta = now.DeltaSince(before);
+  const GaugeSample* windowed = delta.FindGauge("obs_test.gauge_level");
+  ASSERT_NE(windowed, nullptr);
+  EXPECT_EQ(windowed->value, 60);
+}
+
+TEST(GaugeTest, SnapshotJsonCarriesGauges) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  reg.GetGauge("obs_test.json_gauge")->Set(-5);
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(reg.Snapshot().ToJson()).Parse(&doc));
+  const JsonValue* gauges = doc.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const JsonValue* gauge = gauges->Find("obs_test.json_gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->number, -5.0);
+}
+
 TEST(MetricsRegistryTest, SnapshotJsonIsWellFormed) {
   MetricsRegistry& reg = MetricsRegistry::Default();
   reg.GetCounter("obs_test.json_counter")->Inc(7);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
@@ -177,27 +179,62 @@ TEST(ThreadPool, ExceptionOnNonIssuingWorkerThreadIsRethrown) {
   EXPECT_EQ(covered.load(), 256u);
 }
 
-TEST(ThreadPool, ReentrantParallelForIsRejected) {
+TEST(ThreadPool, ReentrantParallelForRunsSeriallyInline) {
   ThreadPool pool(4);
-  // Every nested ParallelFor attempted from inside an episode — whether the
-  // chunk runs on a worker thread or on the issuing caller — must throw
-  // std::logic_error; none may silently run its body or deadlock.
+  // A nested ParallelFor from inside an episode — whether the chunk runs on
+  // a worker thread or on the issuing caller — degrades to one serial
+  // inline body(begin, end) call on the nesting thread: full coverage, no
+  // deadlock, no throw. (Code that wants real nested parallelism uses
+  // TaskScheduler.) Each degradation bumps threadpool.nested_serial.
+  uint64_t before = obs::MetricsRegistry::Default()
+                        .GetCounter("threadpool.nested_serial")
+                        ->Value();
   std::atomic<int> attempts{0};
-  std::atomic<int> rejections{0};
-  std::atomic<int> nested_bodies_ran{0};
+  std::atomic<int> nested_chunks{0};
+  std::atomic<size_t> nested_covered{0};
   pool.ParallelFor(0, 256, 1, [&](size_t, size_t) {
     attempts.fetch_add(1, std::memory_order_relaxed);
-    try {
-      pool.ParallelFor(0, 4, 1, [&](size_t, size_t) {
-        nested_bodies_ran.fetch_add(1, std::memory_order_relaxed);
-      });
-    } catch (const std::logic_error&) {
-      rejections.fetch_add(1, std::memory_order_relaxed);
-    }
+    pool.ParallelFor(0, 64, 1, [&](size_t lo, size_t hi) {
+      nested_chunks.fetch_add(1, std::memory_order_relaxed);
+      nested_covered.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
   });
   EXPECT_GT(attempts.load(), 0);
-  EXPECT_EQ(nested_bodies_ran.load(), 0);
-  EXPECT_EQ(rejections.load(), attempts.load());
+  // One inline call per nesting attempt, covering the whole range.
+  EXPECT_EQ(nested_chunks.load(), attempts.load());
+  EXPECT_EQ(nested_covered.load(), static_cast<size_t>(attempts.load()) * 64);
+  uint64_t after = obs::MetricsRegistry::Default()
+                       .GetCounter("threadpool.nested_serial")
+                       ->Value();
+  EXPECT_EQ(after - before, static_cast<uint64_t>(attempts.load()));
+}
+
+TEST(ThreadPool, NestedFromSubmitterChunkRunsSeriallyInline) {
+  // The submitter participates in its own episode as the gang's final
+  // member; a nested call from one of *its* chunks must also degrade to
+  // serial inline instead of deadlocking on the gate it holds. The pool's
+  // one worker stalls in its first chunk until the submitter has run a
+  // nested call, so the submitter is guaranteed to claim outer chunks.
+  ThreadPool pool(2);
+  std::atomic<bool> submitter_nested{false};
+  std::atomic<size_t> nested_covered{0};
+  std::thread::id submitter = std::this_thread::get_id();
+  pool.ParallelFor(0, 8, 1, [&](size_t, size_t) {
+    if (std::this_thread::get_id() != submitter) {
+      while (!submitter_nested.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      return;
+    }
+    pool.ParallelFor(0, 128, 1, [&](size_t lo, size_t hi) {
+      nested_covered.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+    submitter_nested.store(true, std::memory_order_release);
+  });
+  // The submitter ran at least one outer chunk, and each of its nested
+  // calls covered the full inner range in one serial pass.
+  EXPECT_GT(nested_covered.load(), 0u);
+  EXPECT_EQ(nested_covered.load() % 128, 0u);
 }
 
 TEST(ThreadPool, OnWorkerThreadDistinguishesPools) {
