@@ -4,15 +4,19 @@
 #ifndef RUDOLF_BENCH_BENCH_COMMON_H_
 #define RUDOLF_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "experiments/runner.h"
 #include "metrics/report.h"
 #include "obs/metrics.h"
+#include "obs/metrics_server.h"
 #include "workload/scenarios.h"
 
 namespace rudolf {
@@ -95,6 +99,56 @@ class BenchJson {
   std::string name_;
   size_t rows_;
   std::vector<std::pair<std::string, double>> entries_;
+};
+
+/// \brief Serves live metrics for the duration of a bench run, when asked.
+///
+/// Opt-in via `RUDOLF_METRICS_PORT=<port>` (0 = ephemeral): constructs a
+/// MetricsServer over the default registry and prints the bound address so
+/// a scraper (or CI's curl) can attach while the timed phases run. With the
+/// variable unset this is a complete no-op — the bench numbers are
+/// unaffected. `RUDOLF_METRICS_HOLD_MS=<n>` keeps the server (and process)
+/// alive that long after the bench body finishes, giving out-of-process
+/// scrapers a window to observe the final state.
+class LiveMetricsScope {
+ public:
+  LiveMetricsScope() {
+    int port = obs::ResolveMetricsPort(/*requested=*/-1);
+    if (port < 0) return;
+    obs::ServeOptions options;
+    options.port = port;
+    server_ = std::make_unique<obs::MetricsServer>(
+        &obs::MetricsRegistry::Default(), options);
+    if (server_->Start()) {
+      std::printf("[metrics-server] listening on 127.0.0.1:%d\n",
+                  server_->port());
+      std::fflush(stdout);
+    } else {
+      server_.reset();
+    }
+  }
+
+  ~LiveMetricsScope() {
+    if (server_ == nullptr) return;
+    if (const char* env = std::getenv("RUDOLF_METRICS_HOLD_MS")) {
+      char* end = nullptr;
+      long ms = std::strtol(env, &end, 10);
+      if (end != env && ms > 0) {
+        std::printf("[metrics-server] holding for %ld ms\n", ms);
+        std::fflush(stdout);
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }
+    }
+    server_->Stop();
+  }
+
+  LiveMetricsScope(const LiveMetricsScope&) = delete;
+  LiveMetricsScope& operator=(const LiveMetricsScope&) = delete;
+
+  bool serving() const { return server_ != nullptr; }
+
+ private:
+  std::unique_ptr<obs::MetricsServer> server_;
 };
 
 /// Runs the given methods on one dataset with shared options.

@@ -182,6 +182,10 @@ int main() {
          "one deployment serves many institutes; concurrency and memory "
          "budgeting must not change any institute's refinement outcome");
 
+  // Scrapers may attach for the whole run (RUDOLF_METRICS_PORT): the fleet
+  // phases emit the tenant-labeled series /fleetz tabulates.
+  LiveMetricsScope live_metrics;
+
   const size_t tenants = ResolveFleetTenants(64);
   const size_t rows = BenchRows(4000);  // per tenant
   const size_t total_rounds = tenants * kRounds;
@@ -207,7 +211,7 @@ int main() {
   const obs::HistogramSample* rounds_hist =
       snap.FindHistogram("fleet.round.seconds");
   double p95_ms =
-      (rounds_hist != nullptr ? rounds_hist->Quantile(0.95) : 0.0) * 1e3;
+      (rounds_hist != nullptr ? rounds_hist->ValueAtQuantile(0.95) : 0.0) * 1e3;
   double rss_mb = 0, hwm_mb = 0;
   ReadRss(&rss_mb, &hwm_mb);
   double speedup = fleet_rps / gang_rps;

@@ -69,6 +69,11 @@ bool SameContent(const Relation& a, const Relation& b) {
 int main() {
   using namespace rudolf;
 
+  // Optional live scrape endpoint for the duration of the run
+  // (RUDOLF_METRICS_PORT) — queue depth and epoch gauges move while the
+  // streamed world ingests.
+  bench::LiveMetricsScope live_metrics;
+
   const size_t rows = bench::BenchRows(400000);
   const size_t batch = rows >= 100000 ? 4096 : (rows / 50 > 0 ? rows / 50 : 1);
   bench::Banner(

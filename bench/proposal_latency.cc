@@ -124,9 +124,10 @@ double ReportPhase(const obs::MetricsSnapshot& snap, const char* name) {
     return 0.0;
   }
   std::printf("  %-32s n=%-8llu p50=%8.4fs  p95=%8.4fs  max=%8.4fs\n", name,
-              static_cast<unsigned long long>(h->count), h->Quantile(0.50),
-              h->Quantile(0.95), h->max_seconds);
-  return h->Quantile(0.95);
+              static_cast<unsigned long long>(h->count),
+              h->ValueAtQuantile(0.50), h->ValueAtQuantile(0.95),
+              h->max_seconds);
+  return h->ValueAtQuantile(0.95);
 }
 
 }  // namespace

@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition (v0.0.4) document, as served by the
+embedded metrics server's /metrics endpoint.
+
+Checks:
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, labels [a-zA-Z_][a-zA-Z0-9_]*
+  * every sample line parses (name{labels} value)
+  * at most one `# TYPE` line per family, appearing before its first sample,
+    and every sample belongs to a family with a TYPE
+  * no duplicate series (same name + same label set)
+  * histograms are complete and coherent per label-set: `_bucket` series are
+    cumulative (non-decreasing by ascending `le`), end in le="+Inf", and the
+    +Inf bucket equals the `_count` sample; `_sum`/`_count` both present
+  * counter/gauge values are numbers (NaN allowed only for untyped)
+
+Gating (for CI):
+  --require REGEX   exit 1 unless some series (name + rendered labels)
+                    matches; repeatable, all must match
+
+Usage:
+    curl -s localhost:9109/metrics | scripts/promcheck.py
+    scripts/promcheck.py exposition.txt --require 'tenant="'
+
+Standard library only. Exit 0 clean, 1 on any error or unmet --require.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>-?\d+))?$"
+)
+LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def parse_labels(text, errors, lineno):
+    """'a="x",b="y"' -> dict; reports malformed pieces."""
+    labels = {}
+    pos = 0
+    while pos < len(text):
+        m = LABEL_RE.match(text, pos)
+        if not m:
+            errors.append(f"line {lineno}: malformed label set at '{text[pos:]}'")
+            return labels
+        name = m.group("name")
+        if not LABEL_NAME_RE.match(name):
+            errors.append(f"line {lineno}: bad label name '{name}'")
+        if name in labels:
+            errors.append(f"line {lineno}: duplicate label '{name}'")
+        labels[name] = m.group("value")
+        pos = m.end()
+        if pos < len(text):
+            if text[pos] != ",":
+                errors.append(f"line {lineno}: expected ',' in label set")
+                return labels
+            pos += 1
+    return labels
+
+
+def parse_le(value):
+    if value == "+Inf":
+        return math.inf
+    try:
+        return float(value)
+    except ValueError:
+        return None
+
+
+def family_of(name):
+    """Histogram sample names fold into their family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def lint(text, requires):
+    errors = []
+    types = {}          # family -> type
+    samples = []        # (name, labels_dict, value, lineno)
+    seen_series = set()
+    families_seen = set()  # families with at least one sample already out
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    errors.append(f"line {lineno}: malformed TYPE line")
+                    continue
+                family, mtype = parts[2], parts[3]
+                if not NAME_RE.match(family):
+                    errors.append(f"line {lineno}: bad family name '{family}'")
+                if mtype not in ("counter", "gauge", "histogram", "summary",
+                                 "untyped"):
+                    errors.append(f"line {lineno}: unknown type '{mtype}'")
+                if family in types:
+                    errors.append(f"line {lineno}: duplicate TYPE for '{family}'")
+                if family in families_seen:
+                    errors.append(
+                        f"line {lineno}: TYPE for '{family}' after its samples")
+                types[family] = mtype
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparsable sample '{line}'")
+            continue
+        name = m.group("name")
+        labels = parse_labels(m.group("labels") or "", errors, lineno)
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value '{m.group('value')}'")
+            continue
+        series_key = (name, tuple(sorted(labels.items())))
+        if series_key in seen_series:
+            errors.append(f"line {lineno}: duplicate series {name}{labels}")
+        seen_series.add(series_key)
+        family = family_of(name)
+        families_seen.add(family)
+        if family not in types and name not in types:
+            errors.append(f"line {lineno}: sample '{name}' has no TYPE line")
+        samples.append((name, labels, value, lineno))
+
+    # Histogram coherence, per (family, non-le label set).
+    hist_families = {f for f, t in types.items() if t == "histogram"}
+    for family in sorted(hist_families):
+        buckets = {}   # group key -> [(le, value, lineno)]
+        sums = {}
+        counts = {}
+        for name, labels, value, lineno in samples:
+            if family_of(name) != family or not name.startswith(family):
+                continue
+            group = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"))
+            if name == family + "_bucket":
+                le = parse_le(labels.get("le", ""))
+                if le is None:
+                    errors.append(
+                        f"line {lineno}: bucket of '{family}' with bad le")
+                    continue
+                buckets.setdefault(group, []).append((le, value, lineno))
+            elif name == family + "_sum":
+                sums[group] = value
+            elif name == family + "_count":
+                counts[group] = (value, lineno)
+        for group, series in buckets.items():
+            tag = dict(group) or "(no labels)"
+            ordered = sorted(series)
+            if not ordered or not math.isinf(ordered[-1][0]):
+                errors.append(f"histogram '{family}' {tag}: no le=\"+Inf\" bucket")
+                continue
+            prev = -1.0
+            for le, value, lineno in ordered:
+                if value < prev:
+                    errors.append(
+                        f"line {lineno}: histogram '{family}' {tag} not "
+                        f"cumulative at le={le} ({value} < {prev})")
+                prev = value
+            if group not in counts:
+                errors.append(f"histogram '{family}' {tag}: missing _count")
+            elif ordered[-1][1] != counts[group][0]:
+                errors.append(
+                    f"histogram '{family}' {tag}: +Inf bucket "
+                    f"{ordered[-1][1]} != _count {counts[group][0]}")
+            if group not in sums:
+                errors.append(f"histogram '{family}' {tag}: missing _sum")
+        for group in counts:
+            if group not in buckets:
+                errors.append(
+                    f"histogram '{family}' {dict(group)}: _count without buckets")
+
+    # --require gates, matched against the rendered series line head.
+    for pattern in requires:
+        rx = re.compile(pattern)
+        hit = False
+        for name, labels, _value, _lineno in samples:
+            rendered = name
+            if labels:
+                rendered += "{" + ",".join(
+                    f'{k}="{v}"' for k, v in sorted(labels.items())) + "}"
+            if rx.search(rendered):
+                hit = True
+                break
+        if not hit:
+            errors.append(f"--require '{pattern}' matched no series")
+
+    return errors, len(samples), len(types)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Prometheus text-exposition linter")
+    parser.add_argument("path", nargs="?", default="-",
+                        help="exposition file ('-' or absent: stdin)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="REGEX",
+                        help="fail unless a series matches (repeatable)")
+    args = parser.parse_args()
+
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.path, encoding="utf-8") as f:
+            text = f.read()
+
+    errors, n_samples, n_families = lint(text, args.require)
+    for error in errors:
+        print(f"promcheck: {error}", file=sys.stderr)
+    if errors:
+        print(f"promcheck: FAIL ({len(errors)} problem(s), {n_samples} "
+              f"samples, {n_families} families)", file=sys.stderr)
+        return 1
+    print(f"promcheck: OK ({n_samples} samples, {n_families} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

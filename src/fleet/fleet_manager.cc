@@ -59,6 +59,7 @@ TenantId FleetManager::AddTenant(std::string name, const Relation* relation,
   assert(relation != nullptr && rules != nullptr && log != nullptr &&
          expert != nullptr);
   auto tenant = std::make_unique<Tenant>();
+  tenant->id = static_cast<TenantId>(tenants_.size() + 1);
   tenant->name = std::move(name);
   tenant->relation = relation;
   tenant->rules = rules;
@@ -89,11 +90,13 @@ SessionStats FleetManager::RefineTenant(TenantId tenant, size_t prefix_rows) {
       t->last_used = ++clock_;
     }
     RUDOLF_SPAN("fleet.round");
-    RUDOLF_SCOPED_LATENCY("fleet.round.seconds");
+    // TenantScope first: the tenant-labeled latency samples the TLS tenant
+    // at construction, and the round counter wants the label too.
     TenantScope scope(tenant);
+    RUDOLF_TENANT_SCOPED_LATENCY("fleet.round.seconds");
     stats = t->session->Refine(prefix_rows, t->rules, t->expert, t->log);
+    RUDOLF_TENANT_COUNTER_INC("fleet.rounds");
   }
-  RUDOLF_COUNTER_INC("fleet.rounds");
   AccountAndEvict(t);
   return stats;
 }
@@ -122,13 +125,22 @@ void FleetManager::AccountAndEvict(Tenant* tenant) {
       size_t bytes = tenant->session->HeldMemoryBytes();
       held_bytes_total_ += bytes - tenant->held_bytes;
       tenant->held_bytes = bytes;
+      // A completed round rebuilt whatever eviction dropped — the tenant is
+      // resident again.
+      tenant->eviction_tier = 0;
     }
   }
-  obs::MetricsRegistry::Default()
-      .GetGauge("fleet.memory.bytes")
+  auto& registry = obs::MetricsRegistry::Default();
+  registry.GetGauge("fleet.memory.bytes")
       ->Set(static_cast<int64_t>(held_bytes_total_));
+  PublishTenantGauges(tenant);
   ++rounds_;
   size_t budget = options_.memory_budget_bytes;
+  int64_t headroom =
+      budget == 0 ? 0
+                  : static_cast<int64_t>(budget) -
+                        static_cast<int64_t>(held_bytes_total_);
+  registry.GetGauge("fleet.memory.headroom.bytes")->Set(headroom);
   if (budget == 0 || held_bytes_total_ <= budget) return;
 
   RUDOLF_SPAN("fleet.evict");
@@ -152,20 +164,37 @@ void FleetManager::AccountAndEvict(Tenant* tenant) {
         t->session->ReleaseCachedBitmaps();
         ++cache_evictions_;
         RUDOLF_COUNTER_INC("fleet.evictions.cache");
+        registry.GetTenantCounter("fleet.evictions.cache", t->id)->Inc();
       } else {
         t->session->ReleaseTracker();
         ++tracker_evictions_;
         RUDOLF_COUNTER_INC("fleet.evictions.tracker");
+        registry.GetTenantCounter("fleet.evictions.tracker", t->id)->Inc();
       }
       RUDOLF_COUNTER_INC("fleet.memory.evictions");
+      t->eviction_tier = tier;
       size_t bytes = t->session->HeldMemoryBytes();
       held_bytes_total_ += bytes - t->held_bytes;
       t->held_bytes = bytes;
+      PublishTenantGauges(t);
     }
   }
-  obs::MetricsRegistry::Default()
-      .GetGauge("fleet.memory.bytes")
+  registry.GetGauge("fleet.memory.bytes")
       ->Set(static_cast<int64_t>(held_bytes_total_));
+  if (budget != 0) {
+    registry.GetGauge("fleet.memory.headroom.bytes")
+        ->Set(static_cast<int64_t>(budget) -
+              static_cast<int64_t>(held_bytes_total_));
+  }
+}
+
+void FleetManager::PublishTenantGauges(Tenant* tenant) {
+  // Caller holds fleet_mu_ (held_bytes / eviction_tier are fleet state).
+  auto& registry = obs::MetricsRegistry::Default();
+  registry.GetTenantGauge("fleet.tenant.memory.bytes", tenant->id)
+      ->Set(static_cast<int64_t>(tenant->held_bytes));
+  registry.GetTenantGauge("fleet.tenant.eviction.tier", tenant->id)
+      ->Set(tenant->eviction_tier);
 }
 
 FleetStats FleetManager::stats() const {

@@ -118,6 +118,7 @@ class FleetManager {
 
  private:
   struct Tenant {
+    TenantId id = 0;            // dense, starting at 1 (metric label)
     std::string name;
     const Relation* relation = nullptr;
     RuleSet* rules = nullptr;
@@ -127,12 +128,17 @@ class FleetManager {
     std::mutex mu;              // serializes this tenant's rounds + eviction
     size_t held_bytes = 0;      // last accounted HeldMemoryBytes (fleet_mu_)
     uint64_t last_used = 0;     // fleet clock at last round start (fleet_mu_)
+    int eviction_tier = 0;      // 0 resident, 1 bitmaps dropped, 2 tracker
   };
 
   // Re-reads `tenant`'s held bytes, updates the global sum and gauge, and
   // runs LRU eviction while over budget. Takes fleet_mu_; only try-locks
   // tenant mutexes.
   void AccountAndEvict(Tenant* tenant);
+
+  // Publishes the tenant's labeled gauges (`fleet.tenant.memory.bytes`,
+  // `fleet.tenant.eviction.tier`). Caller holds fleet_mu_.
+  void PublishTenantGauges(Tenant* tenant);
 
   FleetOptions options_;
   TaskScheduler* sched_;  // shared singleton, not owned

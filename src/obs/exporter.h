@@ -1,0 +1,151 @@
+// Exporters over the metrics registry: Prometheus text exposition, a
+// background flight recorder of windowed DeltaSince snapshots, and the
+// single process-exit export path that the `RUDOLF_METRICS` dump and the
+// flight recorder share.
+//
+// Rendering is pull-based and allocation-only (no locks beyond the
+// registry's own snapshot mutex), so the embedded HTTP server can serve
+// /metrics from any handler thread while hot paths keep incrementing.
+//
+// Environment:
+//   RUDOLF_METRICS=<path>           final registry snapshot JSON at exit
+//                                   (unchanged from PR 5, but now routed
+//                                   through the single shutdown path)
+//   RUDOLF_METRICS_FLIGHT=<path>    flight-recorder JSONL; enables the
+//                                   background SnapshotExporter
+//   RUDOLF_METRICS_INTERVAL_MS=<n>  recorder window length (default 1000);
+//                                   with RUDOLF_METRICS set but no FLIGHT
+//                                   path, enables the recorder at
+//                                   "<RUDOLF_METRICS>.flight.jsonl"
+//   RUDOLF_METRICS_FLIGHT_WINDOWS=<n>  ring capacity in windows (default 512)
+
+#ifndef RUDOLF_OBS_EXPORTER_H_
+#define RUDOLF_OBS_EXPORTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rudolf {
+namespace obs {
+
+/// A Prometheus-safe metric name: every character outside
+/// [a-zA-Z0-9_:] becomes '_' (the registry's '.' separators in
+/// particular), with a '_' prefix when the name would start with a digit.
+std::string SanitizePrometheusName(const std::string& name);
+
+/// Escapes a label value for the text exposition format: backslash, double
+/// quote and newline get backslash-escaped.
+std::string EscapePrometheusLabelValue(const std::string& value);
+
+/// \brief Renders a snapshot in the Prometheus text exposition format
+/// (version 0.0.4).
+///
+/// Counters and gauges render as one sample per series; histograms render
+/// as cumulative `_bucket{le="..."}` series (power-of-two-µs upper bounds
+/// in seconds, closed by `le="+Inf"`) plus `_sum` and `_count`. Labeled
+/// (per-tenant) series carry `tenant="N"`; the unlabeled series of the same
+/// family is the all-tenants aggregate. Families are name-sorted, each
+/// preceded by exactly one `# TYPE` line.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// Flight-recorder sizing and destination.
+struct SnapshotExporterOptions {
+  /// Window length between DeltaSince snapshots.
+  int interval_ms = 1000;
+  /// Ring capacity: the recorder keeps the last `ring_windows` windows.
+  size_t ring_windows = 512;
+  /// JSONL destination, written by Flush()/Stop(); empty keeps the ring
+  /// in-memory only (still queryable via Lines()).
+  std::string flight_path;
+};
+
+/// \brief Background thread appending one JSONL line per window — the
+/// registry's DeltaSince the previous window — to a bounded in-memory ring,
+/// flushed to `flight_path` on Stop().
+///
+/// Each line is a self-contained JSON object:
+///   {"window": k, "uptime_s": s, "interval_ms": n, "metrics": {...}}
+/// where "metrics" is the windowed MetricsSnapshot::ToJson (zero-delta
+/// counters dropped, gauges passed through as levels). A bench run or fleet
+/// soak therefore produces a queryable time series instead of one
+/// exit-time aggregate.
+class SnapshotExporter {
+ public:
+  SnapshotExporter(MetricsRegistry* registry, SnapshotExporterOptions options);
+  /// Stops and flushes (idempotent with Stop()).
+  ~SnapshotExporter();
+
+  SnapshotExporter(const SnapshotExporter&) = delete;
+  SnapshotExporter& operator=(const SnapshotExporter&) = delete;
+
+  /// Takes the baseline snapshot and spawns the recorder thread. No-op if
+  /// already started.
+  void Start();
+
+  /// Records one final (partial) window, joins the thread and flushes to
+  /// `flight_path`. Idempotent; safe to call concurrently with Tick.
+  void Stop();
+
+  /// Forces one window boundary now (used by tests and by Stop for the
+  /// final partial window).
+  void Tick();
+
+  /// Copy of the current ring, oldest first.
+  std::vector<std::string> Lines() const;
+
+  /// Windows recorded since Start (monotonic; ring eviction does not
+  /// decrease it).
+  uint64_t windows() const { return windows_.load(std::memory_order_relaxed); }
+
+  /// Writes the ring to `flight_path` (one line per window). False with a
+  /// stderr warning on I/O failure or when no path is configured.
+  bool Flush() const;
+
+ private:
+  void Loop();
+
+  MetricsRegistry* registry_;
+  SnapshotExporterOptions options_;
+
+  mutable std::mutex mu_;  // guards ring_, baseline_, started_/stopping_
+  std::deque<std::string> ring_;
+  MetricsSnapshot baseline_;
+  bool started_ = false;
+  bool stopping_ = false;
+  std::atomic<uint64_t> windows_{0};
+  std::chrono::steady_clock::time_point start_time_;
+
+  std::condition_variable cv_;
+  std::thread thread_;
+  std::mutex stop_mu_;  // serializes Stop() callers around the join
+};
+
+/// Arms the env-driven export pipeline for `registry` (called once from
+/// MetricsRegistry::Default(); must not call back into Default()). Reads
+/// RUDOLF_METRICS / RUDOLF_METRICS_FLIGHT / RUDOLF_METRICS_INTERVAL_MS and
+/// registers ShutdownDefaultExport with atexit when any of them is set.
+void InitDefaultExportFromEnv(MetricsRegistry* registry);
+
+/// The single shutdown path: stops the default flight recorder (final
+/// window + flush) and then writes the RUDOLF_METRICS snapshot — in that
+/// order, exactly once, no matter how many callers race it (atexit, tests,
+/// embedding servers). Safe to call when nothing was armed.
+void ShutdownDefaultExport();
+
+/// The env-armed flight recorder, if any (tests and the /healthz handler
+/// peek at it); null when RUDOLF_METRICS_FLIGHT / _INTERVAL_MS are unset.
+SnapshotExporter* DefaultFlightRecorder();
+
+}  // namespace obs
+}  // namespace rudolf
+
+#endif  // RUDOLF_OBS_EXPORTER_H_

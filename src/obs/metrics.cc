@@ -5,9 +5,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <type_traits>
+
+#include "obs/exporter.h"
+#include "util/task_scheduler.h"
 
 namespace rudolf {
 namespace obs {
+
+static_assert(std::is_same_v<TenantLabel, TenantId>,
+              "obs::TenantLabel must mirror rudolf::TenantId");
+
+TenantLabel CurrentTenantLabel() { return TaskScheduler::CurrentTenant(); }
 
 namespace {
 
@@ -85,6 +94,36 @@ void Histogram::Record(double seconds) {
   }
 }
 
+double HistogramSample::ValueAtQuantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The q-th sample by cumulative rank, 1-based (the Prometheus
+  // histogram_quantile convention).
+  double target = q * static_cast<double>(count);
+  if (target < 1.0) target = 1.0;
+  uint64_t cum = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    uint64_t before = cum;
+    cum += buckets[b];
+    if (static_cast<double>(cum) < target) continue;
+    double hi = Histogram::BucketUpperBound(b);
+    // The unbounded last bucket has no width to interpolate over; the
+    // observed max is the best (and an exact-upper-bound) estimate.
+    if (std::isinf(hi)) return max_seconds;
+    double lo = b == 0 ? 0.0 : Histogram::BucketUpperBound(b - 1);
+    double frac = (target - static_cast<double>(before)) /
+                  static_cast<double>(buckets[b]);
+    double v = lo + (hi - lo) * frac;
+    // max is since registration; for a full-life snapshot it is a valid
+    // ceiling and tightens the estimate when all samples sit low in the
+    // bucket.
+    if (max_seconds > 0.0 && v > max_seconds) v = max_seconds;
+    return v;
+  }
+  return max_seconds;
+}
+
 double HistogramSample::Quantile(double q) const {
   if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
@@ -105,17 +144,19 @@ MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& earlier) cons
   MetricsSnapshot delta;
   for (const CounterSample& now : counters) {
     uint64_t base = 0;
-    if (const CounterSample* then = earlier.FindCounter(now.name)) {
+    if (const CounterSample* then = earlier.FindCounter(now.name, now.tenant)) {
       base = then->value;
     }
-    if (now.value > base) delta.counters.push_back({now.name, now.value - base});
+    if (now.value > base) {
+      delta.counters.push_back({now.name, now.value - base, now.tenant});
+    }
   }
   // Gauges are levels: the windowed reading *is* the current value.
   for (const GaugeSample& now : gauges) {
     if (now.value != 0) delta.gauges.push_back(now);
   }
   for (const HistogramSample& now : histograms) {
-    const HistogramSample* then = earlier.FindHistogram(now.name);
+    const HistogramSample* then = earlier.FindHistogram(now.name, now.tenant);
     HistogramSample d = now;
     if (then != nullptr) {
       d.count = now.count - std::min(now.count, then->count);
@@ -129,41 +170,56 @@ MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& earlier) cons
   return delta;
 }
 
-const CounterSample* MetricsSnapshot::FindCounter(const std::string& name) const {
+const CounterSample* MetricsSnapshot::FindCounter(const std::string& name,
+                                                  TenantLabel tenant) const {
   for (const CounterSample& c : counters) {
-    if (c.name == name) return &c;
+    if (c.tenant == tenant && c.name == name) return &c;
   }
   return nullptr;
 }
 
-const GaugeSample* MetricsSnapshot::FindGauge(const std::string& name) const {
+const GaugeSample* MetricsSnapshot::FindGauge(const std::string& name,
+                                              TenantLabel tenant) const {
   for (const GaugeSample& g : gauges) {
-    if (g.name == name) return &g;
+    if (g.tenant == tenant && g.name == name) return &g;
   }
   return nullptr;
 }
 
 const HistogramSample* MetricsSnapshot::FindHistogram(
-    const std::string& name) const {
+    const std::string& name, TenantLabel tenant) const {
   for (const HistogramSample& h : histograms) {
-    if (h.name == name) return &h;
+    if (h.tenant == tenant && h.name == name) return &h;
   }
   return nullptr;
 }
+
+namespace {
+
+// JSON key of a sample: the bare name for the aggregate series, the
+// Prometheus-style `name{tenant="N"}` for labeled ones.
+template <typename Sample>
+std::string JsonKey(const Sample& s) {
+  if (s.tenant == 0) return JsonEscape(s.name);
+  return JsonEscape(s.name) + "{tenant=\\\"" + std::to_string(s.tenant) +
+         "\\\"}";
+}
+
+}  // namespace
 
 std::string MetricsSnapshot::ToJson(int indent) const {
   std::string pad(static_cast<size_t>(std::max(indent, 0)), ' ');
   std::string out = "{\n";
   out += pad + "  \"counters\": {";
   for (size_t i = 0; i < counters.size(); ++i) {
-    out += (i > 0 ? ",\n" : "\n") + pad + "    \"" + JsonEscape(counters[i].name) +
+    out += (i > 0 ? ",\n" : "\n") + pad + "    \"" + JsonKey(counters[i]) +
            "\": ";
     AppendNumber(&out, static_cast<double>(counters[i].value));
   }
   out += (counters.empty() ? std::string() : "\n" + pad + "  ") + "},\n";
   out += pad + "  \"gauges\": {";
   for (size_t i = 0; i < gauges.size(); ++i) {
-    out += (i > 0 ? ",\n" : "\n") + pad + "    \"" + JsonEscape(gauges[i].name) +
+    out += (i > 0 ? ",\n" : "\n") + pad + "    \"" + JsonKey(gauges[i]) +
            "\": ";
     AppendNumber(&out, static_cast<double>(gauges[i].value));
   }
@@ -171,7 +227,7 @@ std::string MetricsSnapshot::ToJson(int indent) const {
   out += pad + "  \"histograms\": {";
   for (size_t i = 0; i < histograms.size(); ++i) {
     const HistogramSample& h = histograms[i];
-    out += (i > 0 ? ",\n" : "\n") + pad + "    \"" + JsonEscape(h.name) + "\": ";
+    out += (i > 0 ? ",\n" : "\n") + pad + "    \"" + JsonKey(h) + "\": ";
     out += "{\"count\": ";
     AppendNumber(&out, static_cast<double>(h.count));
     out += ", \"sum_s\": ";
@@ -192,15 +248,14 @@ std::string MetricsSnapshot::ToJson(int indent) const {
 MetricsRegistry& MetricsRegistry::Default() {
   // Leaked: metrics outlive static teardown of arbitrary clients (threads
   // may still increment counters while other statics destruct).
+  //
+  // Export is delegated to the exporter's single shutdown path
+  // (ShutdownDefaultExport): the flight recorder flushes its final window
+  // first, then the RUDOLF_METRICS snapshot is written — once, whether
+  // shutdown comes from atexit, a server Stop, or an explicit call.
   static MetricsRegistry* registry = [] {
     auto* r = new MetricsRegistry();
-    if (const char* path = std::getenv("RUDOLF_METRICS")) {
-      if (path[0] != '\0') {
-        static std::string dump_path;
-        dump_path = path;
-        std::atexit([] { MetricsRegistry::Default().WriteJson(dump_path); });
-      }
-    }
+    InitDefaultExportFromEnv(r);
     return r;
   }();
   return *registry;
@@ -227,30 +282,87 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+Counter* MetricsRegistry::GetTenantCounter(const std::string& name,
+                                           TenantLabel tenant) {
+  if (tenant == 0) return GetCounter(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = tenant_counters_[{name, tenant}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetTenantGauge(const std::string& name,
+                                       TenantLabel tenant) {
+  if (tenant == 0) return GetGauge(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = tenant_gauges_[{name, tenant}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetTenantHistogram(const std::string& name,
+                                               TenantLabel tenant) {
+  if (tenant == 0) return GetHistogram(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = tenant_histograms_[{name, tenant}];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+HistogramSample MetricsRegistry::SampleOf(const std::string& name,
+                                          TenantLabel tenant,
+                                          const Histogram& hist) {
+  HistogramSample h;
+  h.name = name;
+  h.tenant = tenant;
+  h.count = hist.Count();
+  h.sum_seconds = hist.SumSeconds();
+  h.max_seconds = hist.MaxSeconds();
+  for (size_t b = 0; b < h.buckets.size(); ++b) {
+    h.buckets[b] = hist.buckets_[b].load(std::memory_order_relaxed);
+  }
+  return h;
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
-  snap.counters.reserve(counters_.size());
+  // Unlabeled (aggregate) series first, each section name-sorted; labeled
+  // series follow, sorted by (name, tenant). Find*'s default tenant of 0
+  // therefore keeps resolving to the aggregates existing consumers expect.
+  snap.counters.reserve(counters_.size() + tenant_counters_.size());
   for (const auto& [name, counter] : counters_) {
-    snap.counters.push_back({name, counter->Value()});
+    snap.counters.push_back({name, counter->Value(), 0});
   }
-  snap.gauges.reserve(gauges_.size());
+  for (const auto& [key, counter] : tenant_counters_) {
+    snap.counters.push_back({key.first, counter->Value(), key.second});
+  }
+  snap.gauges.reserve(gauges_.size() + tenant_gauges_.size());
   for (const auto& [name, gauge] : gauges_) {
-    snap.gauges.push_back({name, gauge->Value()});
+    snap.gauges.push_back({name, gauge->Value(), 0});
   }
-  snap.histograms.reserve(histograms_.size());
+  for (const auto& [key, gauge] : tenant_gauges_) {
+    snap.gauges.push_back({key.first, gauge->Value(), key.second});
+  }
+  snap.histograms.reserve(histograms_.size() + tenant_histograms_.size());
   for (const auto& [name, hist] : histograms_) {
-    HistogramSample h;
-    h.name = name;
-    h.count = hist->Count();
-    h.sum_seconds = hist->SumSeconds();
-    h.max_seconds = hist->MaxSeconds();
-    for (size_t b = 0; b < h.buckets.size(); ++b) {
-      h.buckets[b] = hist->buckets_[b].load(std::memory_order_relaxed);
-    }
-    snap.histograms.push_back(std::move(h));
+    snap.histograms.push_back(SampleOf(name, 0, *hist));
+  }
+  for (const auto& [key, hist] : tenant_histograms_) {
+    snap.histograms.push_back(SampleOf(key.first, key.second, *hist));
   }
   return snap;
+}
+
+ScopedTenantLatency::~ScopedTenantLatency() {
+  double seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+  aggregate_->Record(seconds);
+  if (tenant_ != 0) {
+    MetricsRegistry::Default().GetTenantHistogram(name_, tenant_)
+        ->Record(seconds);
+  }
 }
 
 bool MetricsRegistry::WriteJson(const std::string& path) const {

@@ -38,6 +38,16 @@
 namespace rudolf {
 namespace obs {
 
+/// Tenant id a labeled metric series belongs to. Mirrors rudolf::TenantId
+/// (util/task_scheduler.h) without pulling the scheduler into every obs
+/// client; 0 is the unlabeled/aggregate series.
+using TenantLabel = uint32_t;
+
+/// The tenant the calling thread is working for, per
+/// TaskScheduler::CurrentTenant() — one TLS read. 0 outside any TenantScope
+/// or tenant-tagged scheduler chunk.
+TenantLabel CurrentTenantLabel();
+
 /// \brief Monotonic counter, sharded per thread to keep hot increments
 /// contention-free.
 ///
@@ -124,16 +134,20 @@ class Histogram {
   std::atomic<uint64_t> max_nanos_{0};
 };
 
-/// One counter's value at snapshot time.
+/// One counter's value at snapshot time. `tenant` != 0 marks a per-tenant
+/// labeled series (rendered as `name{tenant="N"}`); the tenant-0 series of
+/// the same name is the all-tenants aggregate.
 struct CounterSample {
   std::string name;
   uint64_t value = 0;
+  TenantLabel tenant = 0;
 };
 
 /// One gauge's value at snapshot time.
 struct GaugeSample {
   std::string name;
   int64_t value = 0;
+  TenantLabel tenant = 0;
 };
 
 /// One histogram's state at snapshot time.
@@ -142,11 +156,18 @@ struct HistogramSample {
   uint64_t count = 0;
   double sum_seconds = 0.0;
   double max_seconds = 0.0;
+  TenantLabel tenant = 0;
   std::array<uint64_t, Histogram::kBuckets> buckets{};
 
   /// Approximate quantile (0..1): the upper bound of the bucket holding the
   /// q-th sample. ≤ 2x the true value by bucket construction; 0 when empty.
   double Quantile(double q) const;
+
+  /// Quantile estimate by linear interpolation inside the holding bucket
+  /// (the Prometheus histogram_quantile estimator), clamped to the observed
+  /// max. Strictly tighter than Quantile()'s bucket upper bound; 0 when
+  /// empty. The last (unbounded) bucket reports the observed max.
+  double ValueAtQuantile(double q) const;
 };
 
 /// \brief Point-in-time copy of every registered metric, diffable and
@@ -156,16 +177,22 @@ struct MetricsSnapshot {
   std::vector<GaugeSample> gauges;          // sorted by name
   std::vector<HistogramSample> histograms;  // sorted by name
 
-  /// This snapshot minus `earlier` (names matched; metrics absent from
-  /// `earlier` keep their full value; zero-delta counters are dropped).
-  /// Histogram max is *not* differenced — it reports the max since
-  /// registration, the honest reading for a windowed delta. Gauges are
-  /// levels, not rates: they pass through with their current value.
+  /// This snapshot minus `earlier` (matched by name *and* tenant label;
+  /// metrics absent from `earlier` keep their full value; zero-delta
+  /// counters are dropped). Histogram max is *not* differenced — it reports
+  /// the max since registration, the honest reading for a windowed delta.
+  /// Gauges are levels, not rates: they pass through with their current
+  /// value.
   MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
 
-  const CounterSample* FindCounter(const std::string& name) const;
-  const GaugeSample* FindGauge(const std::string& name) const;
-  const HistogramSample* FindHistogram(const std::string& name) const;
+  /// Lookup by name and tenant label; the default finds the unlabeled
+  /// (aggregate) series.
+  const CounterSample* FindCounter(const std::string& name,
+                                   TenantLabel tenant = 0) const;
+  const GaugeSample* FindGauge(const std::string& name,
+                               TenantLabel tenant = 0) const;
+  const HistogramSample* FindHistogram(const std::string& name,
+                                       TenantLabel tenant = 0) const;
 
   /// JSON object `{"counters": {...}, "histograms": {...}}`. `indent` is the
   /// number of spaces prefixed to every inner line, so the object can be
@@ -182,9 +209,21 @@ class MetricsRegistry {
   /// set, registers an atexit hook writing the final Snapshot() JSON there.
   static MetricsRegistry& Default();
 
+  /// Private registries are for exporters' and tests' isolated worlds; the
+  /// macros and every subsystem use Default().
+  MetricsRegistry() = default;
+
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
+
+  /// Per-tenant labeled views: the `name{tenant="t"}` series, registered on
+  /// first use like the unlabeled metrics (stable pointers). `tenant` 0
+  /// degrades to the unlabeled series, so call sites need no branch. These
+  /// lookups lock; labeled sites are round/batch-grained, never per-row.
+  Counter* GetTenantCounter(const std::string& name, TenantLabel tenant);
+  Gauge* GetTenantGauge(const std::string& name, TenantLabel tenant);
+  Histogram* GetTenantHistogram(const std::string& name, TenantLabel tenant);
 
   MetricsSnapshot Snapshot() const;
 
@@ -193,13 +232,21 @@ class MetricsRegistry {
   bool WriteJson(const std::string& path) const;
 
  private:
-  MetricsRegistry() = default;
+  static HistogramSample SampleOf(const std::string& name, TenantLabel tenant,
+                                  const Histogram& hist);
 
   mutable std::mutex mu_;
   // std::map: stable addresses via unique_ptr and name-sorted snapshots.
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Labeled series, keyed (name, tenant); tenant is never 0 here.
+  std::map<std::pair<std::string, TenantLabel>, std::unique_ptr<Counter>>
+      tenant_counters_;
+  std::map<std::pair<std::string, TenantLabel>, std::unique_ptr<Gauge>>
+      tenant_gauges_;
+  std::map<std::pair<std::string, TenantLabel>, std::unique_ptr<Histogram>>
+      tenant_histograms_;
 };
 
 /// \brief Records the lifetime of a scope into a Histogram (RAII).
@@ -217,6 +264,31 @@ class ScopedLatency {
 
  private:
   Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// \brief ScopedLatency that additionally records into the calling tenant's
+/// labeled series (`name{tenant="t"}`) when the scope runs under a
+/// TenantScope / tenant-tagged scheduler chunk.
+///
+/// The tenant is sampled at construction (one TLS read), so the label is
+/// the tenant that *started* the scope even if the body migrates across
+/// nested episodes. The aggregate (unlabeled) histogram is always recorded.
+class ScopedTenantLatency {
+ public:
+  ScopedTenantLatency(Histogram* aggregate, const char* name)
+      : aggregate_(aggregate),
+        name_(name),
+        tenant_(CurrentTenantLabel()),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTenantLatency();
+  ScopedTenantLatency(const ScopedTenantLatency&) = delete;
+  ScopedTenantLatency& operator=(const ScopedTenantLatency&) = delete;
+
+ private:
+  Histogram* aggregate_;
+  const char* name_;
+  TenantLabel tenant_;
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -245,6 +317,39 @@ class ScopedLatency {
   ::rudolf::obs::ScopedLatency RUDOLF_OBS_CONCAT(rudolf_obs_lat_,       \
                                                  __LINE__)(             \
       RUDOLF_OBS_CONCAT(rudolf_obs_hist_, __LINE__))
+
+// --- Tenant-labeled variants. The unlabeled macros above are untouched —
+// their cost (one static-cached pointer + relaxed add) is the hot-path
+// contract. The tenant variants add one TLS read and a branch; only when a
+// tenant is actually in scope do they pay a registry lookup for the labeled
+// series. Use them at round/batch granularity (fleet rounds, ingest
+// batches, evictions), never inside per-row loops.
+
+/// Bumps the named counter by 1, plus the calling tenant's labeled series.
+#define RUDOLF_TENANT_COUNTER_INC(name) RUDOLF_TENANT_COUNTER_ADD(name, 1)
+
+/// Bumps the named counter by `n`, plus the calling tenant's labeled series.
+#define RUDOLF_TENANT_COUNTER_ADD(name, n)                               \
+  do {                                                                   \
+    RUDOLF_COUNTER_ADD(name, n);                                         \
+    ::rudolf::obs::TenantLabel rudolf_obs_tenant =                       \
+        ::rudolf::obs::CurrentTenantLabel();                             \
+    if (rudolf_obs_tenant != 0) {                                        \
+      ::rudolf::obs::MetricsRegistry::Default()                          \
+          .GetTenantCounter(name, rudolf_obs_tenant)                     \
+          ->Inc(n);                                                      \
+    }                                                                    \
+  } while (0)
+
+/// Records the enclosing scope's wall time into the named histogram and,
+/// when a tenant is in scope at entry, into its labeled series.
+#define RUDOLF_TENANT_SCOPED_LATENCY(name)                               \
+  static ::rudolf::obs::Histogram* RUDOLF_OBS_CONCAT(                    \
+      rudolf_obs_thist_, __LINE__) =                                     \
+      ::rudolf::obs::MetricsRegistry::Default().GetHistogram(name);      \
+  ::rudolf::obs::ScopedTenantLatency RUDOLF_OBS_CONCAT(rudolf_obs_tlat_, \
+                                                       __LINE__)(        \
+      RUDOLF_OBS_CONCAT(rudolf_obs_thist_, __LINE__), name)
 
 }  // namespace obs
 }  // namespace rudolf

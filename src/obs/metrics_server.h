@@ -1,0 +1,131 @@
+// Embedded live-telemetry endpoint: a dependency-free POSIX-socket
+// HTTP/1.1 server exposing the metrics registry while the engine runs.
+//
+//   GET /metrics        Prometheus text exposition v0.0.4 (see exporter.h)
+//   GET /metrics.json   MetricsSnapshot::ToJson — the RUDOLF_METRICS shape
+//   GET /healthz        build info, uptime, scheduler width, epochs
+//   GET /fleetz         per-tenant table assembled from the tenant-labeled
+//                       fleet series: rounds, held bytes, eviction tier,
+//                       last-round p95
+//
+// Architecture: one accept thread pushes connections into a small bounded
+// queue; a handler pool (ServeOptions::num_handlers) pops, parses one
+// request, renders the response off a fresh registry snapshot, writes it
+// and closes (Connection: close — scrapers reconnect per scrape, which
+// keeps the server stateless and shutdown trivial). Stop() closes the
+// listener, lets in-flight handlers finish their response, and joins all
+// threads; it is idempotent and also runs from the destructor.
+//
+// The server only ever *reads* the registry (Snapshot() under the
+// registry mutex), so any number of concurrent scrapes race hot-path
+// increments benignly — the same eventual-consistency promise snapshots
+// always had. Nothing here is on a hot path: a disabled/absent server
+// costs zero (the metrics macros are untouched).
+
+#ifndef RUDOLF_OBS_METRICS_SERVER_H_
+#define RUDOLF_OBS_METRICS_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rudolf {
+namespace obs {
+
+/// Server configuration.
+struct ServeOptions {
+  /// TCP port to bind; 0 asks the kernel for an ephemeral port (read the
+  /// result from port() after Start). `RUDOLF_METRICS_PORT` overrides via
+  /// ResolveMetricsPort.
+  int port = 0;
+  /// Bind address. Telemetry is unauthenticated — keep it loopback unless
+  /// the deployment fronts it with something that isn't.
+  std::string bind_address = "127.0.0.1";
+  /// Handler pool size (scrapes are cheap; two is plenty for a scraper
+  /// plus a human with curl).
+  int num_handlers = 2;
+  /// When the requested port is taken, fall back to an ephemeral port
+  /// instead of failing Start (logged). Off means Start() returns false.
+  bool fallback_to_ephemeral = true;
+  /// listen(2) backlog.
+  int backlog = 16;
+};
+
+/// The effective port: `RUDOLF_METRICS_PORT` (0..65535) wins over
+/// `requested`; -1 when neither is set (meaning: do not serve).
+int ResolveMetricsPort(int requested);
+
+/// \brief Serves the registry over HTTP until stopped.
+class MetricsServer {
+ public:
+  explicit MetricsServer(MetricsRegistry* registry, ServeOptions options = {});
+  ~MetricsServer();  // Stop()
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// Binds, listens and spawns the accept thread + handler pool. False on
+  /// bind/listen failure (after the optional ephemeral fallback). No-op
+  /// true if already started.
+  bool Start();
+
+  /// Graceful shutdown: stops accepting, serves whatever was already
+  /// accepted, joins every thread. Idempotent.
+  void Stop();
+
+  /// The bound port (after a successful Start; 0 before).
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Requests fully served since Start (including error responses).
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Renders the response body + content type for `path` (the routing
+  /// table, exposed for tests and reuse). Returns false for unknown paths.
+  bool RenderEndpoint(const std::string& path, std::string* body,
+                      std::string* content_type) const;
+
+ private:
+  void AcceptLoop();
+  void HandlerLoop();
+  void HandleConnection(int fd);
+  std::string HealthzJson() const;
+  std::string FleetzJson() const;
+
+  MetricsRegistry* registry_;
+  ServeOptions options_;
+
+  std::atomic<int> port_{0};
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+  // Written by Start/Stop, read concurrently by the accept loop.
+  std::atomic<int> listen_fd_{-1};
+  std::chrono::steady_clock::time_point start_time_;
+
+  // Accepted connections awaiting a handler. Bounded: beyond the cap the
+  // accept thread serves 503 inline rather than queueing unboundedly.
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::deque<int> conns_;
+  bool conns_shutdown_ = false;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> handlers_;
+  std::mutex lifecycle_mu_;  // serializes Start/Stop
+};
+
+}  // namespace obs
+}  // namespace rudolf
+
+#endif  // RUDOLF_OBS_METRICS_SERVER_H_

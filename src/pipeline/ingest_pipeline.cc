@@ -44,6 +44,10 @@ IngestPipeline::IngestPipeline(Relation* relation, IngestPipelineOptions options
   if (options_.reserve_rows > 0) {
     relation_->Reserve(relation_->NumRows() + options_.reserve_rows);
   }
+  if (options_.tenant != 0) {
+    tenant_rows_counter_ = obs::MetricsRegistry::Default().GetTenantCounter(
+        "pipeline.ingest.rows", options_.tenant);
+  }
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -89,6 +93,12 @@ bool IngestPipeline::Append(RowBatch batch) {
   // value equals the deepest queue observed (counters are monotonic, so
   // the gauge is published as the sum of high-water increments).
   size_t depth = queue_.size();
+  // `pipeline.queue.length` is the live depth for scrapes; racy Set calls
+  // from producers/workers just mean a slightly stale level, which is all a
+  // gauge ever promises.
+  static obs::Gauge* queue_length =
+      obs::MetricsRegistry::Default().GetGauge("pipeline.queue.length");
+  queue_length->Set(static_cast<int64_t>(depth));
   size_t prev = queue_depth_hwm_.load(std::memory_order_relaxed);
   while (depth > prev) {
     if (queue_depth_hwm_.compare_exchange_weak(prev, depth,
@@ -151,6 +161,10 @@ void IngestPipeline::ApplyInOrder(SeqBatch* item) {
                                     item->batch.scores);
     applied_rows_.store(relation_->NumRows(), std::memory_order_release);
     RUDOLF_COUNTER_ADD("pipeline.ingest.rows", n);
+    if (tenant_rows_counter_ != nullptr) tenant_rows_counter_->Inc(n);
+    static obs::Gauge* queue_length =
+        obs::MetricsRegistry::Default().GetGauge("pipeline.queue.length");
+    queue_length->Set(static_cast<int64_t>(queue_.size()));
   }
   ++next_apply_seq_;
   apply_cv_.notify_all();
@@ -201,8 +215,11 @@ size_t IngestPipeline::PinEpoch(size_t target_rows) {
   size_t frozen =
       std::min(target_rows, applied_rows_.load(std::memory_order_acquire));
   frozen_prefix_.store(frozen, std::memory_order_release);
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  uint64_t epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   RUDOLF_COUNTER_INC("pipeline.epochs");
+  obs::MetricsRegistry::Default()
+      .GetGauge("pipeline.epoch")
+      ->Set(static_cast<int64_t>(epoch));
   return frozen;
 }
 

@@ -52,6 +52,10 @@
 
 namespace rudolf {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 /// Pipeline sizing knobs.
 struct IngestPipelineOptions {
   /// Bounded queue capacity in batches — the back-pressure depth. The
@@ -65,6 +69,11 @@ struct IngestPipelineOptions {
   /// capacity; growth beyond it is handled safely but must wait for an
   /// open gate.
   size_t reserve_rows = 0;
+  /// Tenant label stamped on this pipeline's per-tenant series
+  /// (`pipeline.ingest.rows{tenant="N"}`). Worker threads run outside any
+  /// TenantScope, so the label is a pipeline property, not thread state.
+  /// 0 (default) keeps the pipeline unlabeled — aggregate series only.
+  uint32_t tenant = 0;
 };
 
 /// \brief Producer-facing streaming ingest with frozen refinement epochs.
@@ -200,6 +209,10 @@ class IngestPipeline {
 
   std::atomic<bool> shutdown_{false};
   std::vector<std::thread> workers_;
+
+  // Resolved once at construction (registry lookups are mutex-guarded, so
+  // per-batch resolution would serialize workers on the registry).
+  obs::Counter* tenant_rows_counter_ = nullptr;  // set iff options_.tenant != 0
 };
 
 }  // namespace rudolf

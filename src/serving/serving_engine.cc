@@ -19,6 +19,13 @@ std::shared_ptr<const CompiledRuleSet> ServingEngine::Publish(
       CompiledRuleSet::Compile(schema_, rules, next_epoch_++);
   current_.store(compiled, std::memory_order_release);
   RUDOLF_COUNTER_INC("serving.publishes");
+  // Live level for /healthz and /metrics: which compiled epoch is serving
+  // and how many rule slots it carries.
+  auto& registry = obs::MetricsRegistry::Default();
+  registry.GetGauge("serving.epoch")
+      ->Set(static_cast<int64_t>(compiled->epoch()));
+  registry.GetGauge("serving.compiled.slots")
+      ->Set(static_cast<int64_t>(compiled->num_slots()));
   return compiled;
 }
 

@@ -166,6 +166,11 @@ TaskScheduler::TaskScheduler(int num_threads)
   for (int i = 0; i < spawn; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+  // Effective width (submitter + workers) — /healthz reports this so a
+  // scrape can tell a narrow container from a misconfigured pool.
+  obs::MetricsRegistry::Default()
+      .GetGauge("scheduler.width")
+      ->Set(spawn + 1);
 }
 
 TaskScheduler::~TaskScheduler() {
